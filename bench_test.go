@@ -1,0 +1,257 @@
+// Benchmarks regenerating the paper's evaluation artifacts: one benchmark
+// per figure panel (Figures 6 and 7) plus the ablation studies from
+// DESIGN.md. Each figure benchmark evaluates the analytical model and runs
+// the simulator at mid load (50% of the model's saturation rate) and
+// reports the latencies and the model-vs-simulation relative error as
+// custom metrics, so `go test -bench=.` reproduces the shape of every
+// panel:
+//
+//	model_uni_cycles, sim_uni_cycles, relerr_uni_pct
+//	model_mc_cycles,  sim_mc_cycles,  relerr_mc_pct
+package quarc
+
+import (
+	"math"
+	"testing"
+
+	"quarc/internal/core"
+	"quarc/internal/experiments"
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+	"quarc/internal/wormhole"
+)
+
+// benchSim keeps per-iteration cost moderate while leaving enough messages
+// for stable means.
+func benchSim() experiments.SimConfig {
+	return experiments.SimConfig{Warmup: 3000, Measure: 30000, Seed: 0xBE7C4}
+}
+
+// benchPanel runs one figure panel's mid-load point per iteration and
+// reports its latencies and model error.
+func benchPanel(b *testing.B, id string) {
+	b.Helper()
+	p, err := experiments.PanelByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := p.Router()
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := p.DestinationSet(rt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sat, err := experiments.FindSaturationRate(rt, p.MsgLen, p.Alpha, set, 1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rate := 0.5 * sat
+	var last experiments.Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err := experiments.RunPoint(rt, set, p.MsgLen, p.Alpha, rate, benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pt
+	}
+	b.StopTimer()
+	b.ReportMetric(last.ModelUnicast, "model_uni_cycles")
+	b.ReportMetric(last.SimUnicast, "sim_uni_cycles")
+	b.ReportMetric(100*relErr(last.ModelUnicast, last.SimUnicast), "relerr_uni_pct")
+	b.ReportMetric(last.ModelMulticast, "model_mc_cycles")
+	b.ReportMetric(last.SimMulticast, "sim_mc_cycles")
+	b.ReportMetric(100*relErr(last.ModelMulticast, last.SimMulticast), "relerr_mc_pct")
+}
+
+func relErr(a, ref float64) float64 {
+	if ref == 0 || math.IsNaN(ref) {
+		return math.NaN()
+	}
+	return math.Abs(a-ref) / math.Abs(ref)
+}
+
+// BenchmarkFig6 regenerates Figure 6 (random multicast destinations), one
+// sub-benchmark per panel.
+func BenchmarkFig6(b *testing.B) {
+	for _, id := range []string{"fig6-a", "fig6-b", "fig6-c", "fig6-d"} {
+		sub := map[string]string{
+			"fig6-a": "N16", "fig6-b": "N32", "fig6-c": "N64", "fig6-d": "N128",
+		}[id]
+		id := id
+		b.Run(sub, func(b *testing.B) { benchPanel(b, id) })
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (localized destinations on one rim).
+func BenchmarkFig7(b *testing.B) {
+	for _, id := range []string{"fig7-a", "fig7-b", "fig7-c", "fig7-d"} {
+		sub := map[string]string{
+			"fig7-a": "N16", "fig7-b": "N32", "fig7-c": "N64", "fig7-d": "N128",
+		}[id]
+		id := id
+		b.Run(sub, func(b *testing.B) { benchPanel(b, id) })
+	}
+}
+
+// BenchmarkAblationOnePort compares all-port vs one-port Quarc broadcast
+// latency (the design choice behind the paper's Fig. 1 discussion).
+func BenchmarkAblationOnePort(b *testing.B) {
+	var series []experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = experiments.OnePortAblation(16, 32, 0.05, []float64{0.002}, benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(series) == 2 {
+		b.ReportMetric(series[0].Points[0].SimMulticast, "allport_mc_cycles")
+		b.ReportMetric(series[1].Points[0].SimMulticast, "oneport_mc_cycles")
+		b.ReportMetric(series[1].Points[0].SimMulticast/series[0].Points[0].SimMulticast, "oneport_slowdown_x")
+	}
+}
+
+// BenchmarkAblationSpidergon compares Quarc true broadcast against the
+// Spidergon's broadcast-by-consecutive-unicasts (paper Sec. 3.2).
+func BenchmarkAblationSpidergon(b *testing.B) {
+	var series []experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = experiments.SpidergonComparison(16, 32, 0.05, []float64{0.0005}, benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(series) == 2 {
+		b.ReportMetric(series[0].Points[0].SimMulticast, "quarc_bcast_cycles")
+		b.ReportMetric(series[1].Points[0].SimMulticast, "spidergon_bcast_cycles")
+		b.ReportMetric(series[1].Points[0].SimMulticast/series[0].Points[0].SimMulticast, "spidergon_slowdown_x")
+	}
+}
+
+// BenchmarkMeshTorus checks the model on the paper's future-work targets
+// (multi-port mesh and torus with dual-path Hamilton multicast).
+func BenchmarkMeshTorus(b *testing.B) {
+	var series []experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = experiments.MeshExtension(4, 4, 16, 0.05, []float64{0.004}, benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, s := range series {
+		pt := s.Points[0]
+		b.ReportMetric(100*relErr(pt.ModelMulticast, pt.SimMulticast), "relerr_mc_pct_"+s.Label)
+	}
+}
+
+// BenchmarkAblationService compares the paper's Eq. 6 service recurrence
+// against the exact tail-release holding time, reporting each variant's
+// error against the simulator at a moderately loaded point.
+func BenchmarkAblationService(b *testing.B) {
+	var pts []experiments.ServicePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.ServiceFormulaAblation(16, 32, []float64{0.006}, benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(pts) == 1 {
+		b.ReportMetric(100*relErr(pts[0].Eq6Unicast, pts[0].SimUnicast), "eq6_relerr_pct")
+		b.ReportMetric(100*relErr(pts[0].TailUnicast, pts[0].SimUnicast), "tail_relerr_pct")
+	}
+}
+
+// BenchmarkMaxExp compares the paper's Eq. 12 recursion against the
+// closed-form inclusion-exclusion identity (abl-maxexp in DESIGN.md).
+func BenchmarkMaxExp(b *testing.B) {
+	rates := []float64{0.3, 1.1, 2.7, 0.9, 1.4, 3.2, 0.5, 2.1}
+	b.Run("recursive-m4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MaxExpRecursive(rates[:4])
+		}
+	})
+	b.Run("closedform-m4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MaxExpClosedForm(rates[:4])
+		}
+	})
+	b.Run("recursive-m8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MaxExpRecursive(rates)
+		}
+	})
+	b.Run("closedform-m8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MaxExpClosedForm(rates)
+		}
+	})
+}
+
+// BenchmarkModelSolve measures the analytical model's fixed-point solve on
+// the largest paper configuration (N=128).
+func BenchmarkModelSolve(b *testing.B) {
+	q, err := topology.NewQuarc(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := routing.NewQuarcRouter(q)
+	set, err := rt.LocalizedSet(topology.PortL, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := core.Input{
+		Router: rt,
+		Spec:   traffic.Spec{Rate: 0.0004, MulticastFrac: 0.05, Set: set},
+		MsgLen: 64,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Predict(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures raw simulator throughput (events/sec) on a
+// mid-load 64-node Quarc.
+func BenchmarkSimulator(b *testing.B) {
+	q, err := topology.NewQuarc(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := routing.NewQuarcRouter(q)
+	set, err := rt.LocalizedSet(topology.PortL, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := traffic.Spec{Rate: 0.001, MulticastFrac: 0.05, Set: set}
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := traffic.NewWorkload(rt, spec, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw, err := wormhole.New(rt.Graph(), w, wormhole.Config{MsgLen: 32, Warmup: 1000, Measure: 20000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := nw.Run()
+		events += res.Events
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	}
+}

@@ -1,0 +1,95 @@
+// Command quarcmodel evaluates the paper's analytical model for one Quarc
+// configuration and prints the predicted unicast and multicast latencies.
+//
+// Example:
+//
+//	quarcmodel -n 64 -msg 32 -rate 0.001 -alpha 0.05 -dests 8 -random
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"quarc/internal/core"
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quarcmodel: ")
+
+	n := flag.Int("n", 16, "network size (multiple of 4, >= 8)")
+	msg := flag.Int("msg", 32, "message length in flits")
+	rate := flag.Float64("rate", 0.001, "message generation rate per node (messages/cycle)")
+	alpha := flag.Float64("alpha", 0.05, "multicast fraction of generated messages")
+	dests := flag.Int("dests", 4, "number of multicast destinations")
+	random := flag.Bool("random", false, "random destination set (default: localized on the L rim)")
+	seed := flag.Uint64("seed", 1, "seed for the random destination set")
+	broadcast := flag.Bool("broadcast", false, "multicast to every node (overrides -dests)")
+	verbose := flag.Bool("v", false, "print per-port branch details")
+	flag.Parse()
+
+	q, err := topology.NewQuarc(*n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := routing.NewQuarcRouter(q)
+
+	var set routing.MulticastSet
+	switch {
+	case *alpha == 0:
+		set = routing.NewMulticastSet(topology.QuarcPorts)
+	case *broadcast:
+		set = rt.BroadcastSet()
+	case *random:
+		set, err = rt.RandomSet(rand.New(rand.NewPCG(*seed, 0)), *dests)
+	default:
+		set, err = rt.LocalizedSet(topology.PortL, *dests)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := core.Input{
+		Router: rt,
+		Spec:   traffic.Spec{Rate: *rate, MulticastFrac: *alpha, Set: set},
+		MsgLen: *msg,
+	}
+	m, err := core.NewModel(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := m.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("configuration: N=%d msg=%d flits rate=%g alpha=%g set={%s}\n",
+		*n, *msg, *rate, *alpha, set)
+	fmt.Printf("fixed point:   iterations=%d converged=%v max channel utilization=%.4f\n",
+		pred.Iterations, pred.Converged, pred.MaxRho)
+	if pred.Saturated {
+		fmt.Println("result:        SATURATED — the configuration is outside the model's stability region")
+		return
+	}
+	fmt.Printf("unicast:       average latency %.3f cycles\n", pred.UnicastLatency)
+	if *alpha > 0 {
+		fmt.Printf("multicast:     average latency %.3f cycles\n", pred.MulticastLatency)
+	}
+	if *verbose && *alpha > 0 {
+		branches, err := rt.MulticastBranches(0, set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("branches from node 0:")
+		for _, b := range branches {
+			wait := m.PathWait(b.Path)
+			fmt.Printf("  port %-2s  hops=%-3d targets=%v  expected path wait=%.3f cycles\n",
+				topology.QuarcPortName(b.Port), len(b.Path)-1, b.Targets, wait)
+		}
+	}
+}

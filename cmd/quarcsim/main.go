@@ -1,0 +1,126 @@
+// Command quarcsim runs the discrete-event wormhole simulation of one
+// Quarc configuration and prints measured latencies with confidence
+// intervals, optionally comparing them against the analytical model.
+//
+// Example:
+//
+//	quarcsim -n 64 -msg 32 -rate 0.001 -alpha 0.05 -dests 8 -random -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"quarc/internal/core"
+	"quarc/internal/routing"
+	"quarc/internal/stats"
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+	"quarc/internal/wormhole"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quarcsim: ")
+
+	n := flag.Int("n", 16, "network size (multiple of 4, >= 8)")
+	msg := flag.Int("msg", 32, "message length in flits")
+	rate := flag.Float64("rate", 0.001, "message generation rate per node (messages/cycle)")
+	alpha := flag.Float64("alpha", 0.05, "multicast fraction of generated messages")
+	dests := flag.Int("dests", 4, "number of multicast destinations")
+	random := flag.Bool("random", false, "random destination set (default: localized on the L rim)")
+	setSeed := flag.Uint64("set-seed", 1, "seed for the random destination set")
+	broadcast := flag.Bool("broadcast", false, "multicast to every node (overrides -dests)")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	warmup := flag.Float64("warmup", 20000, "warmup cycles before measurement")
+	measure := flag.Float64("measure", 200000, "measurement window in cycles")
+	compare := flag.Bool("compare", false, "also evaluate the analytical model")
+	detail := flag.Bool("detail", false, "print per-port/per-distance breakdowns and percentiles")
+	trace := flag.Int("trace", -1, "trace messages generated at this node (prints up to -trace-limit events)")
+	traceLimit := flag.Int("trace-limit", 60, "maximum trace events to print")
+	priority := flag.Bool("mc-priority", false, "multicast-first channel arbitration (default FIFO, as in the paper)")
+	flag.Parse()
+
+	q, err := topology.NewQuarc(*n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := routing.NewQuarcRouter(q)
+
+	var set routing.MulticastSet
+	switch {
+	case *alpha == 0:
+		set = routing.NewMulticastSet(topology.QuarcPorts)
+	case *broadcast:
+		set = rt.BroadcastSet()
+	case *random:
+		set, err = rt.RandomSet(rand.New(rand.NewPCG(*setSeed, 0)), *dests)
+	default:
+		set, err = rt.LocalizedSet(topology.PortL, *dests)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := traffic.Spec{Rate: *rate, MulticastFrac: *alpha, Set: set}
+	w, err := traffic.NewWorkload(rt, spec, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := wormhole.New(rt.Graph(), w, wormhole.Config{
+		MsgLen:            *msg,
+		Warmup:            *warmup,
+		Measure:           *measure,
+		Detail:            *detail,
+		TraceEnabled:      *trace >= 0,
+		TraceNode:         topology.NodeID(max(*trace, 0)),
+		TraceLimit:        *traceLimit,
+		MulticastPriority: *priority,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := nw.Run()
+
+	fmt.Printf("configuration: N=%d msg=%d flits rate=%g alpha=%g set={%s}\n", *n, *msg, *rate, *alpha, set)
+	fmt.Printf("simulated:     %.0f cycles, %d events, %d/%d messages completed/generated\n",
+		res.Time, res.Events, res.Completed, res.Generated)
+	if res.Saturated {
+		fmt.Println("result:        SATURATED — injection backlog grew without bound")
+		return
+	}
+	fmt.Printf("unicast:       %.3f ± %.3f cycles (95%% CI, %d messages)\n",
+		res.Unicast.Mean(), res.UnicastBM.HalfWidth(1.96), res.Unicast.N())
+	if *alpha > 0 && res.Multicast.N() > 0 {
+		fmt.Printf("multicast:     %.3f ± %.3f cycles (95%% CI, %d messages)\n",
+			res.Multicast.Mean(), res.MulticastBM.HalfWidth(1.96), res.Multicast.N())
+	}
+	fmt.Printf("peak channel utilization: %.4f\n", res.MaxUtil)
+	if *detail && res.Detail != nil {
+		fmt.Print(res.Detail.Summary())
+	}
+	if len(res.Trace) > 0 {
+		fmt.Printf("trace of node %d's messages:\n", *trace)
+		fmt.Print(wormhole.FormatTrace(rt.Graph(), res.Trace))
+	}
+
+	if *compare {
+		pred, err := core.Predict(core.Input{Router: rt, Spec: spec, MsgLen: *msg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pred.Saturated {
+			fmt.Println("model:         SATURATED at this rate")
+			return
+		}
+		fmt.Printf("model:         unicast %.3f cycles (rel err %.2f%%)",
+			pred.UnicastLatency, 100*stats.RelErr(pred.UnicastLatency, res.Unicast.Mean()))
+		if *alpha > 0 {
+			fmt.Printf(", multicast %.3f cycles (rel err %.2f%%)",
+				pred.MulticastLatency, 100*stats.RelErr(pred.MulticastLatency, res.Multicast.Mean()))
+		}
+		fmt.Println()
+	}
+}

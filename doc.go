@@ -1,0 +1,24 @@
+// Package quarc reproduces "A Performance Model of Multicast Communication
+// in Wormhole-Routed Networks on-Chip" (Moadeli & Vanderbauwhede, IPDPS
+// 2009): an analytical model that predicts the average multicast latency of
+// wormhole-routed networks with asynchronous multi-port routers, validated
+// on the Quarc NoC against a discrete-event simulator.
+//
+// The library lives under internal/:
+//
+//   - internal/core — the analytical model (M/G/1 channel queues, wormhole
+//     service-time fixed point, max-of-exponentials multicast combination)
+//   - internal/topology, internal/routing — Quarc, Spidergon, mesh, torus
+//     and hypercube networks with their deterministic unicast and BRCP
+//     multicast routing
+//   - internal/wormhole — the worm-level wormhole network simulator that
+//     stands in for the paper's OMNET++ model
+//   - internal/traffic, internal/stats — Poisson workloads and estimators
+//   - internal/experiments — regeneration of the paper's Figures 6 and 7
+//     plus the ablation studies
+//
+// Command-line entry points are cmd/quarcmodel, cmd/quarcsim and
+// cmd/figures; runnable walk-throughs live in examples/. The benchmarks in
+// bench_test.go regenerate one figure panel or ablation each; see
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+package quarc

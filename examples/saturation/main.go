@@ -1,0 +1,80 @@
+// Saturation study: where does a Quarc configuration stop being stable,
+// and how conservative is the analytical model about it?
+//
+// The model's service-time fixed point diverges somewhat before the real
+// network saturates (its Eq. 6 holding times include downstream blocking,
+// so channel utilization hits 1 early). This example finds the model's
+// stability boundary for a grid of configurations, then probes the
+// simulator just below and well above that boundary to show the margin.
+//
+// Run with:
+//
+//	go run ./examples/saturation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quarc/internal/experiments"
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+	"quarc/internal/wormhole"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("Model stability boundary across the paper's parameter grid:")
+	rows, err := experiments.SaturationStudy(
+		[]int{16, 32, 64}, []int{16, 32, 64}, []float64{0, 0.05, 0.10}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.SatTable(rows))
+
+	fmt.Println("\nNote the aggregate capacity column (sat-rate x N x M flits/cycle):")
+	fmt.Println("it stays in a narrow band per alpha — saturation is a bandwidth")
+	fmt.Println("limit, so the per-node rate falls as 1/(N·M).")
+
+	// Probe the simulator around the model boundary for one configuration.
+	const n, msgLen = 32, 32
+	q, err := topology.NewQuarc(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := routing.NewQuarcRouter(q)
+	set, err := rt.LocalizedSet(topology.PortL, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sat, err := experiments.FindSaturationRate(rt, msgLen, 0.05, set, 1e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nN=%d, M=%d, alpha=5%%: model saturation rate = %.5g msg/cycle/node\n", n, msgLen, sat)
+	fmt.Println("simulator probes around that boundary:")
+	for _, frac := range []float64{0.8, 1.0, 1.3, 1.8} {
+		rate := sat * frac
+		w, err := traffic.NewWorkload(rt, traffic.Spec{Rate: rate, MulticastFrac: 0.05, Set: set}, 55)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nw, err := wormhole.New(rt.Graph(), w, wormhole.Config{
+			MsgLen: msgLen, Warmup: 10000, Measure: 60000, SatQueue: 400,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := nw.Run()
+		status := fmt.Sprintf("latency %.1f cycles (peak util %.2f)", res.Unicast.Mean(), res.MaxUtil)
+		if res.Saturated {
+			status = "SATURATED (backlog grows without bound)"
+		}
+		fmt.Printf("  %.2f x model boundary (rate %.5g): %s\n", frac, rate, status)
+	}
+	fmt.Println("\nThe simulator keeps delivering somewhat past the model's boundary —")
+	fmt.Println("the model is conservative, which is the safe direction for a designer")
+	fmt.Println("sizing a NoC, and matches how the paper's figures stop at the knee.")
+}

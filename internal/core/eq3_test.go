@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+)
+
+// TestPaperEq3LiteralUnderestimates demonstrates the typo documented in
+// DESIGN.md §2: evaluating Eq. 3 exactly as printed (numerator λρ instead
+// of the standard λ·x̄²) produces waiting times smaller by a factor ~x̄/λ,
+// so the literal formula's latency barely rises with load while the
+// standard P-K form — and the simulator — climb steeply.
+func TestPaperEq3LiteralUnderestimates(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	set, err := rt.LocalizedSet(topology.PortL, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := traffic.Spec{Rate: 0.006, MulticastFrac: 0.05, Set: set}
+	std, err := Predict(Input{Router: rt, Spec: spec, MsgLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, err := Predict(Input{Router: rt, Spec: spec, MsgLen: 32, WaitFormula: PaperEq3Literal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std.Saturated || lit.Saturated {
+		t.Fatal("unexpected saturation")
+	}
+	zeroLoadish := 37.0 // mean depth + msg for this configuration
+	stdExcess := std.UnicastLatency - zeroLoadish
+	litExcess := lit.UnicastLatency - zeroLoadish
+	if !(stdExcess > 5) {
+		t.Fatalf("standard P-K queueing excess %v suspiciously small", stdExcess)
+	}
+	// The literal formula's queueing excess must be at least 10x smaller:
+	// it is the standard value scaled by λ/x̄ ≈ 0.006/35.
+	if !(litExcess < stdExcess/10) {
+		t.Errorf("literal Eq. 3 excess %v not dramatically below standard %v", litExcess, stdExcess)
+	}
+}
+
+// TestWaitFormulaPointwise pins the two formulas' algebraic relationship:
+// paper-literal = standard × λ/x̄.
+func TestWaitFormulaPointwise(t *testing.T) {
+	lambda, xbar, sigma := 0.004, 40.0, 8.0
+	std := MG1Wait(lambda, xbar, sigma)
+	lit := MG1WaitPaperEq3(lambda, xbar, sigma)
+	want := std * lambda / xbar
+	if math.Abs(lit-want) > 1e-12*want {
+		t.Fatalf("literal = %v, want standard×λ/x̄ = %v", lit, want)
+	}
+}
+
+func TestPaperEq3Edges(t *testing.T) {
+	if MG1WaitPaperEq3(0, 10, 0) != 0 {
+		t.Error("zero arrivals must give zero wait")
+	}
+	if !math.IsInf(MG1WaitPaperEq3(0.2, 10, 0), 1) {
+		t.Error("ρ >= 1 must give infinite wait")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative λ did not panic")
+		}
+	}()
+	MG1WaitPaperEq3(-1, 1, 0)
+}

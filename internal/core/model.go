@@ -1,0 +1,479 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+)
+
+// Input specifies one model evaluation: a routed topology, a workload
+// specification and the message length in flits.
+type Input struct {
+	Router routing.Router
+	Spec   traffic.Spec
+	MsgLen int
+	// Damping is the fixed-point damping factor in (0,1]; 0 selects the
+	// default 0.5.
+	Damping float64
+	// MaxIter bounds the fixed-point iterations; 0 selects the default.
+	MaxIter int
+	// Tol is the convergence tolerance on service times; 0 selects the
+	// default 1e-9.
+	Tol float64
+	// WaitFormula selects the M/G/1 waiting-time formula; the default is
+	// the standard Pollaczek-Khinchine form (see DESIGN.md §2).
+	WaitFormula WaitFormula
+	// ServiceFormula selects the service-time recurrence; the default is
+	// the paper's Eq. 6.
+	ServiceFormula ServiceFormula
+}
+
+// ServiceFormula selects the channel service-time recurrence.
+type ServiceFormula int
+
+const (
+	// PaperEq6 is the paper's recurrence, x_i = Σ P(W' + x_j + 1): a
+	// channel's holding time includes one cycle per downstream hop. This
+	// overestimates the physical holding time (a wormhole channel is
+	// released when the tail crosses it, so the per-hop cycles cancel),
+	// which makes the model conservative: it saturates slightly before
+	// the simulator. It is the default because it is what the paper
+	// publishes, and its figures show exactly this conservatism.
+	PaperEq6 ServiceFormula = iota
+	// TailRelease drops the per-hop +1: x_i = Σ P(W' + x_j) with x = msg
+	// at the ejection channel, which telescopes to msg + downstream
+	// waits — the exact mean holding time when messages are longer than
+	// the remaining path. An ablation (BenchmarkAblationService) compares
+	// the two against the simulator.
+	TailRelease
+)
+
+// WaitFormula selects how channel waiting times are computed.
+type WaitFormula int
+
+const (
+	// PKStandard is the standard Pollaczek-Khinchine mean wait,
+	// W = λ·E[x²]/(2(1-ρ)) — the form the paper's cited source gives and
+	// the one that reproduces the simulator. This is the default.
+	PKStandard WaitFormula = iota
+	// PaperEq3Literal evaluates Eq. 3 exactly as printed in the paper
+	// (numerator λρ instead of λx̄²). It exists to demonstrate that the
+	// printed formula cannot reproduce the paper's own figures: it
+	// underestimates waits by a factor of about x̄/λ.
+	PaperEq3Literal
+)
+
+// Prediction is the model output for one configuration.
+type Prediction struct {
+	// UnicastLatency is the average unicast message latency (Eq. 7
+	// averaged over all source/destination pairs), in cycles.
+	UnicastLatency float64
+	// MulticastLatency is the average multicast message latency
+	// (Eqs. 13-16), in cycles.
+	MulticastLatency float64
+	// Saturated reports that some channel's utilization reached 1, i.e.
+	// the configuration is beyond the model's stability region; the
+	// latencies are +Inf in that case.
+	Saturated bool
+	// MaxRho is the largest channel utilization λ·x̄ at the fixed point.
+	MaxRho float64
+	// Iterations is the number of fixed-point sweeps performed.
+	Iterations int
+	// Converged reports whether the service-time fixed point met the
+	// tolerance within MaxIter sweeps.
+	Converged bool
+}
+
+// channelState carries the per-channel quantities of the model.
+type channelState struct {
+	lambda  float64 // total arrival rate (messages/cycle)
+	service float64 // mean holding time x̄
+	wait    float64 // M/G/1 mean wait W
+	eject   bool
+	// outgoing transitions: next channel index and the flow rate i->j.
+	next []transition
+}
+
+type transition struct {
+	to   int
+	rate float64
+}
+
+// Model is the assembled analytical model for one Input. Build with
+// NewModel, evaluate with Solve; the per-path helpers are exposed so the
+// multicast combination and experiments can inspect intermediate values.
+type Model struct {
+	in       Input
+	g        *topology.Graph
+	channels []channelState
+	// pairRate maps (from<<32 | to) to the flow rate from->to, used for
+	// the "exclude own contribution" scaling of path waits.
+	pairRate map[uint64]float64
+	// multicast branches per source node (nil when α = 0).
+	branches [][]routing.Branch
+	solved   bool
+	pred     Prediction
+}
+
+const (
+	defaultDamping = 0.5
+	defaultMaxIter = 20000
+	defaultTol     = 1e-9
+)
+
+// NewModel enumerates the workload's flows over the router and assembles
+// the per-channel arrival rates and transition structure.
+func NewModel(in Input) (*Model, error) {
+	if in.Router == nil {
+		return nil, fmt.Errorf("core: nil router")
+	}
+	if err := in.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if in.MsgLen < 2 {
+		return nil, fmt.Errorf("core: message length %d too short", in.MsgLen)
+	}
+	if in.Damping == 0 {
+		in.Damping = defaultDamping
+	}
+	if in.Damping <= 0 || in.Damping > 1 {
+		return nil, fmt.Errorf("core: damping %v out of (0,1]", in.Damping)
+	}
+	if in.MaxIter == 0 {
+		in.MaxIter = defaultMaxIter
+	}
+	if in.Tol == 0 {
+		in.Tol = defaultTol
+	}
+	g := in.Router.Graph()
+	m := &Model{
+		in:       in,
+		g:        g,
+		channels: make([]channelState, g.NumChannels()),
+		pairRate: make(map[uint64]float64),
+	}
+	for i := range m.channels {
+		m.channels[i].eject = g.Channel(topology.ChannelID(i)).Kind == topology.Ejection
+	}
+
+	n := g.Nodes()
+	lam := in.Spec.Rate
+	alpha := in.Spec.MulticastFrac
+
+	// Unicast flows: per-pair probabilities from the spec (uniform in the
+	// paper's setup, skewed under hotspot traffic).
+	if lam > 0 && alpha < 1 {
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				p := in.Spec.UnicastProb(n, topology.NodeID(src), topology.NodeID(dst))
+				if p == 0 {
+					continue
+				}
+				path, err := in.Router.UnicastPath(topology.NodeID(src), topology.NodeID(dst))
+				if err != nil {
+					return nil, fmt.Errorf("core: unicast path %d->%d: %w", src, dst, err)
+				}
+				m.addFlow(path, lam*(1-alpha)*p)
+			}
+		}
+	}
+
+	// Multicast flows: one flow per branch per source at rate λα.
+	if lam > 0 && alpha > 0 {
+		m.branches = make([][]routing.Branch, n)
+		for src := 0; src < n; src++ {
+			branches, err := in.Router.MulticastBranches(topology.NodeID(src), in.Spec.Set)
+			if err != nil {
+				return nil, fmt.Errorf("core: multicast branches at %d: %w", src, err)
+			}
+			m.branches[src] = branches
+			for _, b := range branches {
+				m.addFlow(b.Path, lam*alpha)
+			}
+		}
+	}
+
+	// Materialize the transition lists.
+	for key, rate := range m.pairRate {
+		from := int(key >> 32)
+		to := int(key & 0xffffffff)
+		m.channels[from].next = append(m.channels[from].next, transition{to: to, rate: rate})
+	}
+	return m, nil
+}
+
+func (m *Model) addFlow(path routing.Path, rate float64) {
+	for i, id := range path {
+		m.channels[id].lambda += rate
+		if i > 0 {
+			key := uint64(path[i-1])<<32 | uint64(id)
+			m.pairRate[key] += rate
+		}
+	}
+}
+
+// Lambda returns the modeled arrival rate at a channel.
+func (m *Model) Lambda(id topology.ChannelID) float64 { return m.channels[id].lambda }
+
+// Service returns the fixed-point mean holding time of a channel (valid
+// after Solve).
+func (m *Model) Service(id topology.ChannelID) float64 { return m.channels[id].service }
+
+// Wait returns the fixed-point M/G/1 mean waiting time of a channel (valid
+// after Solve).
+func (m *Model) Wait(id topology.ChannelID) float64 { return m.channels[id].wait }
+
+// Solve runs the service-time fixed point (Eq. 6 with the P-K wait of
+// Eq. 3) and computes the unicast (Eq. 7) and multicast (Eqs. 13-16)
+// latencies.
+func (m *Model) Solve() (Prediction, error) {
+	if m.solved {
+		return m.pred, nil
+	}
+	msg := float64(m.in.MsgLen)
+
+	// Initialize every channel's holding time to the bare drain time.
+	for i := range m.channels {
+		m.channels[i].service = msg
+	}
+
+	saturated := false
+	iter := 0
+	converged := false
+	for ; iter < m.in.MaxIter; iter++ {
+		// Waits from current services.
+		unstable := false
+		for i := range m.channels {
+			c := &m.channels[i]
+			w := m.channelWait(c.lambda, c.service, msg)
+			if math.IsInf(w, 1) {
+				unstable = true
+				w = math.Inf(1)
+			}
+			c.wait = w
+		}
+		if unstable {
+			saturated = true
+			break
+		}
+		// Service-time sweep (Eq. 6).
+		maxDelta := 0.0
+		for i := range m.channels {
+			c := &m.channels[i]
+			if c.eject || c.lambda == 0 {
+				continue
+			}
+			hop := 1.0
+			if m.in.ServiceFormula == TailRelease {
+				hop = 0
+			}
+			var x float64
+			for _, tr := range c.next {
+				b := &m.channels[tr.to]
+				p := tr.rate / c.lambda
+				scale := 1 - tr.rate/b.lambda
+				if scale < 0 {
+					scale = 0
+				}
+				x += p * (scale*b.wait + b.service + hop)
+			}
+			nx := c.service + m.in.Damping*(x-c.service)
+			if d := math.Abs(nx-c.service) / math.Max(1, c.service); d > maxDelta {
+				maxDelta = d
+			}
+			c.service = nx
+		}
+		if maxDelta < m.in.Tol {
+			converged = true
+			iter++
+			break
+		}
+	}
+
+	maxRho := 0.0
+	for i := range m.channels {
+		c := &m.channels[i]
+		if rho := c.lambda * c.service; rho > maxRho {
+			maxRho = rho
+		}
+	}
+	if maxRho >= 1 {
+		saturated = true
+	}
+
+	pred := Prediction{Saturated: saturated, MaxRho: maxRho, Iterations: iter, Converged: converged}
+	if saturated {
+		pred.UnicastLatency = math.Inf(1)
+		pred.MulticastLatency = math.Inf(1)
+		m.pred, m.solved = pred, true
+		return pred, nil
+	}
+
+	// Final waits from converged services.
+	for i := range m.channels {
+		c := &m.channels[i]
+		c.wait = m.channelWait(c.lambda, c.service, msg)
+	}
+
+	var err error
+	pred.UnicastLatency, err = m.unicastLatency()
+	if err != nil {
+		return pred, err
+	}
+	pred.MulticastLatency, err = m.multicastLatency()
+	if err != nil {
+		return pred, err
+	}
+	m.pred, m.solved = pred, true
+	return pred, nil
+}
+
+// channelWait applies the configured waiting-time formula to a channel.
+func (m *Model) channelWait(lambda, service, msg float64) float64 {
+	sigma := ServiceSigma(service, msg)
+	if m.in.WaitFormula == PaperEq3Literal {
+		return MG1WaitPaperEq3(lambda, service, sigma)
+	}
+	return MG1Wait(lambda, service, sigma)
+}
+
+// PathWait returns the expected total waiting time of a header along a
+// path: the full M/G/1 wait at the injection channel (external Poisson
+// arrivals) plus, at each subsequent channel, the wait scaled by one minus
+// the share of that channel's traffic contributed by the path itself
+// (the factor in Eq. 6).
+func (m *Model) PathWait(path routing.Path) float64 {
+	var total float64
+	for i, id := range path {
+		c := &m.channels[id]
+		if c.lambda == 0 {
+			continue
+		}
+		w := c.wait
+		if i > 0 {
+			rate := m.pairRate[uint64(path[i-1])<<32|uint64(id)]
+			scale := 1 - rate/c.lambda
+			if scale < 0 {
+				scale = 0
+			}
+			w *= scale
+		}
+		total += w
+	}
+	return total
+}
+
+// PathLatency returns the model's expected end-to-end latency of one path:
+// ΣW + msg + D, where D = len(path)-1 is the header pipeline depth (the
+// simulator's zero-load latency is exactly D + msg).
+func (m *Model) PathLatency(path routing.Path) float64 {
+	return m.PathWait(path) + float64(m.in.MsgLen) + float64(len(path)-1)
+}
+
+func (m *Model) unicastLatency() (float64, error) {
+	n := m.g.Nodes()
+	var sum float64
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			// Weight each pair by the probability a message takes it, so
+			// the average is over messages, as the simulator measures it.
+			p := m.in.Spec.UnicastProb(n, topology.NodeID(src), topology.NodeID(dst))
+			if p == 0 {
+				continue
+			}
+			path, err := m.in.Router.UnicastPath(topology.NodeID(src), topology.NodeID(dst))
+			if err != nil {
+				return 0, err
+			}
+			sum += p * m.PathLatency(path)
+		}
+	}
+	return sum / float64(n), nil
+}
+
+func (m *Model) multicastLatency() (float64, error) {
+	if m.branches == nil {
+		return math.NaN(), nil
+	}
+	serialized := m.g.Ports() == 1
+	n := m.g.Nodes()
+	var sum float64
+	for src := 0; src < n; src++ {
+		branches := m.branches[src]
+		if len(branches) == 0 {
+			return 0, fmt.Errorf("core: node %d has no multicast branches", src)
+		}
+		if serialized && len(branches) > 1 {
+			sum += m.serializedMulticastNode(branches)
+			continue
+		}
+		waits := make([]float64, len(branches))
+		maxD := 0
+		for i, b := range branches {
+			waits[i] = m.PathWait(b.Path)
+			if d := len(b.Path) - 1; d > maxD {
+				maxD = d
+			}
+		}
+		// Eqs. 13-14: last-of-m exponential wait + msg + max hops.
+		sum += MulticastWait(waits) + float64(m.in.MsgLen) + float64(maxD)
+	}
+	return sum / float64(n), nil
+}
+
+// serializedMulticastNode models multicast on a one-port router, which is
+// outside the paper's scope (the paper's Eq. 12 machinery assumes
+// asynchronous multi-port injection). With a single injection channel the
+// m branches of one message queue up behind each other: branch k cannot be
+// granted the port before the k-1 earlier branches have released it, each
+// holding it for the port's mean holding time x̄. The k-th branch's
+// latency is therefore the port wait plus (k-1)·x̄ plus its own network
+// traversal, and the multicast completes with the slowest branch. At zero
+// load this reduces to (k-1)·msg + msg + D exactly, matching the
+// simulator. This extension is what the one-port ablation exercises.
+func (m *Model) serializedMulticastNode(branches []routing.Branch) float64 {
+	inj := branches[0].Path[0]
+	injWait := m.channels[inj].wait
+	injHold := m.channels[inj].service
+	msg := float64(m.in.MsgLen)
+	worst := 0.0
+	for k, b := range branches {
+		tail := 0.0
+		for i, id := range b.Path[1:] {
+			c := &m.channels[id]
+			if c.lambda == 0 {
+				continue
+			}
+			prev := b.Path[i] // b.Path[1:][i-1+1] == b.Path[i]
+			rate := m.pairRate[uint64(prev)<<32|uint64(id)]
+			scale := 1 - rate/c.lambda
+			if scale < 0 {
+				scale = 0
+			}
+			tail += scale * c.wait
+		}
+		lat := injWait + float64(k)*injHold + tail + msg + float64(len(b.Path)-1)
+		if lat > worst {
+			worst = lat
+		}
+	}
+	return worst
+}
+
+// Predict is the one-shot convenience: build the model and solve it.
+func Predict(in Input) (Prediction, error) {
+	m, err := NewModel(in)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return m.Solve()
+}

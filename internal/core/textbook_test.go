@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+	"quarc/internal/wormhole"
+)
+
+// pairNetwork builds the smallest possible wormhole network: two nodes
+// connected by one link in each direction, routed by a TableRouter. On
+// this network the model's recurrences collapse to textbook M/G/1
+// formulas that can be checked by hand, and the simulator can be compared
+// against both.
+func pairNetwork(t *testing.T) *routing.TableRouter {
+	t.Helper()
+	g := topology.NewGraph("pair", 2, 1)
+	inj0 := g.AddInjection(0, 0)
+	inj1 := g.AddInjection(1, 0)
+	ej0 := g.AddEjection(0, 0)
+	ej1 := g.AddEjection(1, 0)
+	l01 := g.AddLink(0, 1, 0, 0)
+	l10 := g.AddLink(1, 0, 0, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rt := routing.NewTableRouter(g)
+	if err := rt.SetPath(0, 1, routing.Path{inj0, l01, ej1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetPath(1, 0, routing.Path{inj1, l10, ej0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestPairNetworkHandComputation pins the model to a full hand
+// derivation. With the tail-release service formula every channel's
+// holding time is exactly msg at any load on this network (there is no
+// downstream contention: each channel has a single successor fed only by
+// itself, so the exclude-own-traffic scaling zeroes the downstream wait).
+// Hence every channel is an M/G/1 queue with deterministic-like service
+// x̄ = msg, σ = 0: W = λ·msg²/(2(1-λ·msg)), non-zero only at the
+// injection channel (link and ejection see only their own flow).
+func TestPairNetworkHandComputation(t *testing.T) {
+	rt := pairNetwork(t)
+	msg := 20.0
+	lambda := 0.01
+	m, err := NewModel(Input{
+		Router:         rt,
+		Spec:           traffic.Spec{Rate: lambda},
+		MsgLen:         int(msg),
+		ServiceFormula: TailRelease,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Saturated {
+		t.Fatal("unexpected saturation")
+	}
+
+	g := rt.Graph()
+	// Services: all msg.
+	for _, id := range []topology.ChannelID{g.Injection(0, 0), g.LinkFrom(0, 0, 0), g.Ejection(1, 0)} {
+		if got := m.Service(id); math.Abs(got-msg) > 1e-9 {
+			t.Errorf("channel %v service = %v, want %v", g.Channel(id), got, msg)
+		}
+	}
+	// Hand P-K wait at the injection channel.
+	wantW := lambda * msg * msg / (2 * (1 - lambda*msg))
+	if got := m.Wait(g.Injection(0, 0)); math.Abs(got-wantW) > 1e-9 {
+		t.Errorf("injection wait = %v, want %v", got, wantW)
+	}
+	// Path latency: W_inj + msg + depth (the link and ejection waits are
+	// fully excluded by the own-traffic scaling).
+	wantL := wantW + msg + 2
+	if math.Abs(pred.UnicastLatency-wantL) > 1e-9 {
+		t.Errorf("unicast latency = %v, want %v", pred.UnicastLatency, wantL)
+	}
+}
+
+// TestPairNetworkModelVsSim compares model and simulator on the pair
+// network across a load sweep. The simulated arrival process at the
+// injection channel is exactly Poisson (no network filtering), so this
+// isolates the M/G/1 approximation itself.
+func TestPairNetworkModelVsSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	rt := pairNetwork(t)
+	const msg = 20
+	for _, rate := range []float64{0.005, 0.01, 0.02, 0.03} {
+		pred, err := Predict(Input{
+			Router:         rt,
+			Spec:           traffic.Spec{Rate: rate},
+			MsgLen:         msg,
+			ServiceFormula: TailRelease,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := traffic.NewWorkload(rt, traffic.Spec{Rate: rate}, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := wormhole.New(rt.Graph(), w, wormhole.Config{
+			MsgLen: msg, Warmup: 5000, Measure: 200000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := nw.Run()
+		if res.Saturated || pred.Saturated {
+			t.Fatalf("rate %v saturated unexpectedly", rate)
+		}
+		if e := math.Abs(pred.UnicastLatency-res.Unicast.Mean()) / res.Unicast.Mean(); e > 0.02 {
+			t.Errorf("rate %v: model %v vs sim %v (err %.4f > 2%%)",
+				rate, pred.UnicastLatency, res.Unicast.Mean(), e)
+		}
+	}
+}
+
+func TestTableRouterValidation(t *testing.T) {
+	g := topology.NewGraph("pair", 2, 1)
+	inj0 := g.AddInjection(0, 0)
+	g.AddInjection(1, 0)
+	ej0 := g.AddEjection(0, 0)
+	ej1 := g.AddEjection(1, 0)
+	l01 := g.AddLink(0, 1, 0, 0)
+	l10 := g.AddLink(1, 0, 0, 0)
+	rt := routing.NewTableRouter(g)
+
+	if err := rt.SetPath(0, 0, routing.Path{inj0, ej0}); err == nil {
+		t.Error("self path accepted")
+	}
+	if err := rt.SetPath(0, 1, routing.Path{inj0}); err == nil {
+		t.Error("short path accepted")
+	}
+	if err := rt.SetPath(0, 1, routing.Path{ej0, l01, ej1}); err == nil {
+		t.Error("path not starting with injection accepted")
+	}
+	if err := rt.SetPath(0, 1, routing.Path{inj0, l10, ej1}); err == nil {
+		t.Error("physically broken path accepted")
+	}
+	if err := rt.SetPath(0, 1, routing.Path{inj0, l01, ej0}); err == nil {
+		t.Error("path ending at wrong node accepted")
+	}
+	if err := rt.Complete(); err == nil {
+		t.Error("incomplete table reported complete")
+	}
+	if _, err := rt.UnicastPath(0, 1); err == nil {
+		t.Error("missing path did not error")
+	}
+	if err := rt.SetPath(0, 1, routing.Path{inj0, l01, ej1}); err != nil {
+		t.Fatal(err)
+	}
+	if port, err := rt.UnicastPort(0, 1); err != nil || port != 0 {
+		t.Errorf("port = %d err = %v", port, err)
+	}
+}
+
+func TestTableRouterFanoutMulticast(t *testing.T) {
+	rt := pairNetwork(t)
+	set := routing.NewMulticastSet(1).Add(0, 1)
+	branches, err := rt.MulticastBranches(0, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) != 1 || branches[0].Targets[0] != 1 {
+		t.Fatalf("branches = %+v", branches)
+	}
+	if _, err := rt.MulticastBranches(0, routing.NewMulticastSet(2)); err == nil {
+		t.Error("wrong port count accepted")
+	}
+	if _, err := rt.MulticastBranches(0, routing.NewMulticastSet(1).Add(0, 2)); err == nil {
+		t.Error("offset wrapping to source accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"quarc/internal/core"
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+	"quarc/internal/wormhole"
+)
+
+// TestModelChannelRatesMatchSimulator is the strongest structural
+// cross-check between the two halves of the reproduction: the analytical
+// model's flow enumeration assigns every channel an arrival rate λ, and
+// the simulator independently counts grants per channel. Summed over each
+// channel class, the two must agree — if they do not, model and simulator
+// are not describing the same network.
+func TestModelChannelRatesMatchSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	q, err := topology.NewQuarc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := routing.NewQuarcRouter(q)
+	set, err := rt.LocalizedSet(topology.PortCL, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := traffic.Spec{Rate: 0.003, MulticastFrac: 0.08, Set: set}
+	const msgLen = 16
+
+	m, err := core.NewModel(core.Input{Router: rt, Spec: spec, MsgLen: msgLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := traffic.NewWorkload(rt, spec, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := wormhole.New(rt.Graph(), w, wormhole.Config{
+		MsgLen: msgLen, Warmup: 5000, Measure: 150000, Detail: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := nw.Run()
+	if res.Saturated {
+		t.Fatal("unexpected saturation")
+	}
+
+	// Aggregate per channel class to average out per-channel noise.
+	type agg struct{ model, sim float64 }
+	byClass := map[string]*agg{}
+	key := func(c topology.Channel) string {
+		switch c.Kind {
+		case topology.Injection:
+			return "inj"
+		case topology.Ejection:
+			return "ej"
+		default:
+			return map[int]string{
+				topology.RimPlus: "rim+", topology.RimMinus: "rim-",
+				topology.CrossL: "crossL", topology.CrossR: "crossR",
+			}[c.Class]
+		}
+	}
+	for _, cs := range res.Detail.Channels {
+		c := rt.Graph().Channel(cs.ID)
+		k := key(c)
+		a, ok := byClass[k]
+		if !ok {
+			a = &agg{}
+			byClass[k] = a
+		}
+		a.model += m.Lambda(cs.ID)
+		a.sim += cs.Rate
+	}
+	for k, a := range byClass {
+		if a.model == 0 && a.sim == 0 {
+			continue
+		}
+		if a.model == 0 || a.sim == 0 {
+			t.Errorf("class %s: model total %v, sim total %v — one side is zero", k, a.model, a.sim)
+			continue
+		}
+		if e := math.Abs(a.model-a.sim) / a.model; e > 0.03 {
+			t.Errorf("class %s: model rate %v vs sim %v (err %.3f > 3%%)", k, a.model, a.sim, e)
+		}
+	}
+}
+
+// TestPerDistanceLatencyMatchesModel checks the model's hop term: the
+// simulator's zero-load mean latency at header depth d must be exactly
+// d + msgLen, and at light load stay within a cycle of the model's
+// per-path prediction.
+func TestPerDistanceLatencyMatchesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	q, err := topology.NewQuarc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := routing.NewQuarcRouter(q)
+	spec := traffic.Spec{Rate: 0.0004}
+	const msgLen = 24
+	w, err := traffic.NewWorkload(rt, spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := wormhole.New(rt.Graph(), w, wormhole.Config{
+		MsgLen: msgLen, Warmup: 2000, Measure: 120000, Detail: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := nw.Run()
+	for depth, r := range res.Detail.PerDistanceUnicast {
+		if r.N() < 30 {
+			continue
+		}
+		zeroLoad := float64(depth + msgLen)
+		if r.Mean() < zeroLoad {
+			t.Errorf("depth %d: mean %.3f below the zero-load floor %.0f", depth, r.Mean(), zeroLoad)
+		}
+		if r.Mean() > zeroLoad+1.5 {
+			t.Errorf("depth %d: mean %.3f too far above zero-load %.0f for rate %v",
+				depth, r.Mean(), zeroLoad, spec.Rate)
+		}
+		// The minimum observed latency at a depth is exactly the
+		// zero-load latency (some message always gets a clear path at
+		// this load).
+		if r.Min() != zeroLoad {
+			t.Errorf("depth %d: min %.3f, want exactly %.0f", depth, r.Min(), zeroLoad)
+		}
+	}
+	if len(res.Detail.PerDistanceUnicast) < 4 {
+		t.Fatalf("only %d distinct depths observed", len(res.Detail.PerDistanceUnicast))
+	}
+}
+
+// TestDrainRemovesCensoring verifies the drain option: with Drain, every
+// measured message completes, so Generated == Completed.
+func TestDrainRemovesCensoring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	q, err := topology.NewQuarc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := routing.NewQuarcRouter(q)
+	w, err := traffic.NewWorkload(rt, traffic.Spec{Rate: 0.004}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := wormhole.New(rt.Graph(), w, wormhole.Config{
+		MsgLen: 32, Warmup: 2000, Measure: 20000, Drain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := nw.Run()
+	if res.Saturated {
+		t.Fatal("unexpected saturation")
+	}
+	if res.Generated != res.Completed {
+		t.Fatalf("drain left %d of %d messages incomplete", res.Generated-res.Completed, res.Generated)
+	}
+	// Drained runs may extend past the window, but not past one extra
+	// window length.
+	if res.Time > 2000+20000+20000+1 {
+		t.Fatalf("drain ran too long: %v", res.Time)
+	}
+}
+
+// TestInstrumentationSummaryRenders exercises the report path.
+func TestInstrumentationSummaryRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	q, err := topology.NewQuarc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := routing.NewQuarcRouter(q)
+	set, err := rt.LocalizedSet(topology.PortL, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := traffic.NewWorkload(rt, traffic.Spec{Rate: 0.002, MulticastFrac: 0.1, Set: set}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := wormhole.New(rt.Graph(), w, wormhole.Config{
+		MsgLen: 16, Warmup: 1000, Measure: 20000, Detail: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := nw.Run()
+	sum := res.Detail.Summary()
+	for _, want := range []string{"injection port", "header depth", "percentiles"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	if len(res.Detail.Channels) != rt.Graph().NumChannels() {
+		t.Errorf("channel stats for %d channels, want %d",
+			len(res.Detail.Channels), rt.Graph().NumChannels())
+	}
+}

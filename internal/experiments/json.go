@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// jsonPoint mirrors Point with JSON-safe numbers (NaN/Inf encoded as
+// null, since JSON has no representation for them).
+type jsonPoint struct {
+	Rate           float64  `json:"rate"`
+	ModelUnicast   *float64 `json:"model_unicast"`
+	ModelMulticast *float64 `json:"model_multicast"`
+	ModelSaturated bool     `json:"model_saturated"`
+	ModelMaxRho    float64  `json:"model_max_rho"`
+	SimUnicast     *float64 `json:"sim_unicast"`
+	SimMulticast   *float64 `json:"sim_multicast"`
+	SimUnicastCI   *float64 `json:"sim_unicast_ci95"`
+	SimMulticastCI *float64 `json:"sim_multicast_ci95"`
+	SimSaturated   bool     `json:"sim_saturated"`
+	SimMessages    int64    `json:"sim_messages"`
+}
+
+type jsonResult struct {
+	Panel   string      `json:"panel"`
+	Figure  string      `json:"figure"`
+	N       int         `json:"n"`
+	MsgLen  int         `json:"msglen"`
+	Alpha   float64     `json:"alpha"`
+	Regime  string      `json:"regime"`
+	Set     string      `json:"multicast_set"`
+	SatRate float64     `json:"model_saturation_rate"`
+	Points  []jsonPoint `json:"points"`
+	Core    Agreement   `json:"agreement_core"`
+	Full    Agreement   `json:"agreement_full"`
+}
+
+func jsonNum(x float64) *float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil
+	}
+	return &x
+}
+
+// WriteJSON emits one or more panel results as a JSON array, the
+// machine-readable companion of WriteCSV (NaN and Inf become null).
+func WriteJSON(w io.Writer, results []Result) error {
+	out := make([]jsonResult, 0, len(results))
+	for _, r := range results {
+		regime := "localized"
+		if r.Panel.Random {
+			regime = "random"
+		}
+		jr := jsonResult{
+			Panel:   r.Panel.ID,
+			Figure:  r.Panel.Figure,
+			N:       r.Panel.N,
+			MsgLen:  r.Panel.MsgLen,
+			Alpha:   r.Panel.Alpha,
+			Regime:  regime,
+			Set:     r.Set.String(),
+			SatRate: r.SatRate,
+			Core:    r.AgreementCore(),
+			Full:    r.Agreement(),
+		}
+		for _, pt := range r.Points {
+			jr.Points = append(jr.Points, jsonPoint{
+				Rate:           pt.Rate,
+				ModelUnicast:   jsonNum(pt.ModelUnicast),
+				ModelMulticast: jsonNum(pt.ModelMulticast),
+				ModelSaturated: pt.ModelSaturated,
+				ModelMaxRho:    pt.ModelMaxRho,
+				SimUnicast:     jsonNum(pt.SimUnicast),
+				SimMulticast:   jsonNum(pt.SimMulticast),
+				SimUnicastCI:   jsonNum(pt.SimUnicastCI),
+				SimMulticastCI: jsonNum(pt.SimMulticastCI),
+				SimSaturated:   pt.SimSaturated,
+				SimMessages:    pt.SimMessages,
+			})
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

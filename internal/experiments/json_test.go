@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	p, err := PanelByID("fig7-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Points = 3
+	res, err := RunPanel(p, tinySim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d results, want 1", len(decoded))
+	}
+	d := decoded[0]
+	if d["panel"] != "fig7-a" || d["figure"] != "7" || d["regime"] != "localized" {
+		t.Errorf("metadata wrong: %v", d)
+	}
+	pts, ok := d["points"].([]interface{})
+	if !ok || len(pts) != 3 {
+		t.Fatalf("points wrong: %v", d["points"])
+	}
+	first := pts[0].(map[string]interface{})
+	if _, ok := first["model_unicast"].(float64); !ok {
+		t.Errorf("model_unicast not numeric: %v", first["model_unicast"])
+	}
+	if _, ok := d["agreement_core"].(map[string]interface{}); !ok {
+		t.Errorf("agreement_core missing: %v", d["agreement_core"])
+	}
+}
+
+func TestWriteJSONEncodesNonFiniteAsNull(t *testing.T) {
+	res := Result{
+		Panel: Panel{ID: "x", Figure: "6", N: 16, MsgLen: 16, Random: true},
+		Points: []Point{{
+			Rate:           0.5,
+			ModelUnicast:   math.Inf(1),
+			ModelMulticast: math.NaN(),
+			ModelSaturated: true,
+			SimUnicast:     math.NaN(),
+			SimMulticast:   math.NaN(),
+			SimUnicastCI:   math.NaN(),
+			SimMulticastCI: math.NaN(),
+			SimSaturated:   true,
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Points []struct {
+			ModelUnicast *float64 `json:"model_unicast"`
+			SimUnicast   *float64 `json:"sim_unicast"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded[0].Points[0].ModelUnicast != nil || decoded[0].Points[0].SimUnicast != nil {
+		t.Error("non-finite values not encoded as null")
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 0 {
+		t.Fatalf("decoded %d, want 0", len(decoded))
+	}
+}

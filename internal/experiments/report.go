@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits a panel result as CSV with one row per rate sample. The
+// column set matches the four curves of a paper figure panel plus the
+// confidence intervals and saturation flags.
+func WriteCSV(w io.Writer, r Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"panel", "n", "msglen", "alpha", "regime", "rate",
+		"model_unicast", "model_multicast", "model_saturated", "model_max_rho",
+		"sim_unicast", "sim_multicast", "sim_unicast_ci95", "sim_multicast_ci95",
+		"sim_saturated", "sim_messages",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	regime := "localized"
+	if r.Panel.Random {
+		regime = "random"
+	}
+	f := func(x float64) string {
+		if math.IsNaN(x) {
+			return "nan"
+		}
+		if math.IsInf(x, 1) {
+			return "inf"
+		}
+		return strconv.FormatFloat(x, 'g', 8, 64)
+	}
+	for _, pt := range r.Points {
+		row := []string{
+			r.Panel.ID,
+			strconv.Itoa(r.Panel.N),
+			strconv.Itoa(r.Panel.MsgLen),
+			f(r.Panel.Alpha),
+			regime,
+			f(pt.Rate),
+			f(pt.ModelUnicast), f(pt.ModelMulticast),
+			strconv.FormatBool(pt.ModelSaturated), f(pt.ModelMaxRho),
+			f(pt.SimUnicast), f(pt.SimMulticast),
+			f(pt.SimUnicastCI), f(pt.SimMulticastCI),
+			strconv.FormatBool(pt.SimSaturated),
+			strconv.FormatInt(pt.SimMessages, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// AsciiPlot renders the four curves of a panel as a fixed-size ASCII
+// scatter plot, the terminal stand-in for the paper's figure panel.
+// Legend: u = simulated unicast, U = model unicast, m = simulated
+// multicast, M = model multicast ('#' marks overstrikes).
+func AsciiPlot(r Result, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 8 {
+		height = 18
+	}
+	type series struct {
+		mark byte
+		get  func(Point) float64
+	}
+	curves := []series{
+		{'u', func(p Point) float64 { return p.SimUnicast }},
+		{'U', func(p Point) float64 { return p.ModelUnicast }},
+		{'m', func(p Point) float64 { return p.SimMulticast }},
+		{'M', func(p Point) float64 { return p.ModelMulticast }},
+	}
+	// Axis ranges over finite values only.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, pt := range r.Points {
+		if pt.Rate < minX {
+			minX = pt.Rate
+		}
+		if pt.Rate > maxX {
+			maxX = pt.Rate
+		}
+		for _, c := range curves {
+			v := c.get(pt)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < minY {
+				minY = v
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return fmt.Sprintf("%s: no finite data\n", r.Panel.ID)
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y float64, mark byte) {
+		col := int((x - minX) / (maxX - minX) * float64(width-1))
+		row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		if grid[row][col] != ' ' && grid[row][col] != mark {
+			grid[row][col] = '#'
+		} else {
+			grid[row][col] = mark
+		}
+	}
+	for _, pt := range r.Points {
+		for _, c := range curves {
+			v := c.get(pt)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			put(pt.Rate, v, c.mark)
+		}
+	}
+	var b strings.Builder
+	regime := "localized"
+	if r.Panel.Random {
+		regime = "random"
+	}
+	fmt.Fprintf(&b, "%s: N=%d M=%d alpha=%.0f%% (%s destinations)   [u/U sim/model unicast, m/M sim/model multicast]\n",
+		r.Panel.ID, r.Panel.N, r.Panel.MsgLen, r.Panel.Alpha*100, regime)
+	fmt.Fprintf(&b, "latency (cycles), %.4g .. %.4g\n", minY, maxY)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " rate %.3g .. %.3g msg/cycle/node (model saturation %.3g)\n", minX, maxX, r.SatRate)
+	return b.String()
+}
+
+// SummaryTable renders the model-vs-simulation agreement of several panel
+// results as a fixed-width table. Two regions are reported: "core" covers
+// the points with peak channel utilization at most 0.5 (the region the
+// paper's "excellent approximation" claim addresses), "full" additionally
+// includes the knee just below the model's saturation rate, where this
+// model family over-predicts (visible in the paper's own figures).
+func SummaryTable(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-5s %-4s %-5s %-7s %-6s %-10s %-10s %-6s %-10s %-10s\n",
+		"panel", "N", "M", "alpha", "regime", "core#", "core-uni", "core-mc",
+		"full#", "full-uni", "full-mc")
+	for _, r := range results {
+		core := r.AgreementCore()
+		full := r.Agreement()
+		regime := "local"
+		if r.Panel.Random {
+			regime = "random"
+		}
+		fmt.Fprintf(&b, "%-8s %-5d %-4d %-5.2f %-7s %-6d %-10.4f %-10.4f %-6d %-10.4f %-10.4f\n",
+			r.Panel.ID, r.Panel.N, r.Panel.MsgLen, r.Panel.Alpha, regime,
+			core.Compared, core.MeanUnicastErr, core.MeanMulticastErr,
+			full.Compared, full.MeanUnicastErr, full.MeanMulticastErr)
+	}
+	return b.String()
+}

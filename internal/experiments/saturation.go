@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+)
+
+// SatRow is one configuration of the saturation study: the model's
+// stability boundary as a function of network size, message length and
+// multicast rate. The paper's figures encode this implicitly (larger N, M
+// and α saturate at lower generation rates); the study makes it explicit.
+type SatRow struct {
+	N       int
+	MsgLen  int
+	Alpha   float64
+	SetSize int
+	// SatRate is the highest per-node generation rate the model's fixed
+	// point tolerates.
+	SatRate float64
+	// Capacity is SatRate x N x MsgLen: the aggregate flit rate the
+	// network sustains, in flits/cycle, a size-independent way to compare
+	// configurations.
+	Capacity float64
+}
+
+// SaturationStudy sweeps the model's saturation rate over the cartesian
+// product of the given sizes, message lengths and multicast rates, using a
+// localized destination set of the given size on the L rim (clipped to
+// the quadrant for small networks).
+func SaturationStudy(sizes, msgs []int, alphas []float64, setSize int) ([]SatRow, error) {
+	var rows []SatRow
+	for _, n := range sizes {
+		q, err := topology.NewQuarc(n)
+		if err != nil {
+			return nil, err
+		}
+		rt := routing.NewQuarcRouter(q)
+		k := setSize
+		if quad := q.Quadrant(); k > quad {
+			k = quad
+		}
+		set, err := rt.LocalizedSet(topology.PortL, k)
+		if err != nil {
+			return nil, err
+		}
+		for _, msg := range msgs {
+			for _, alpha := range alphas {
+				sat, err := FindSaturationRate(rt, msg, alpha, set, 1e-3)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, SatRow{
+					N: n, MsgLen: msg, Alpha: alpha, SetSize: k,
+					SatRate:  sat,
+					Capacity: sat * float64(n) * float64(msg),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// SatTable renders the saturation study.
+func SatTable(rows []SatRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-5s %-6s %-5s %14s %16s\n",
+		"N", "M", "alpha", "dests", "sat-rate", "flits/cycle")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5d %-5d %-6.2f %-5d %14.6g %16.4f\n",
+			r.N, r.MsgLen, r.Alpha, r.SetSize, r.SatRate, r.Capacity)
+	}
+	return b.String()
+}

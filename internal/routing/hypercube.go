@@ -1,0 +1,94 @@
+package routing
+
+import (
+	"fmt"
+
+	"quarc/internal/topology"
+)
+
+// HypercubeRouter implements e-cube (ascending dimension-order) unicast
+// routing on a binary hypercube with all-port routers, and software-style
+// multicast by unicast fan-out: one independent worm per destination, the
+// scheme one-port machines without hardware multicast fall back to.
+type HypercubeRouter struct {
+	h *topology.Hypercube
+}
+
+// NewHypercubeRouter returns a router over the given hypercube.
+func NewHypercubeRouter(h *topology.Hypercube) *HypercubeRouter { return &HypercubeRouter{h: h} }
+
+// Graph returns the underlying channel graph.
+func (rt *HypercubeRouter) Graph() *topology.Graph { return rt.h.Graph }
+
+// Hypercube returns the underlying topology.
+func (rt *HypercubeRouter) Hypercube() *topology.Hypercube { return rt.h }
+
+// UnicastPort returns the first dimension the e-cube route corrects: the
+// lowest set bit of src XOR dst.
+func (rt *HypercubeRouter) UnicastPort(src, dst topology.NodeID) (int, error) {
+	if src == dst {
+		return 0, fmt.Errorf("routing: no port for self destination %d", src)
+	}
+	diff := uint32(src ^ dst)
+	for d := 0; d < rt.h.Dims(); d++ {
+		if diff&(1<<uint(d)) != 0 {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("routing: unreachable destination %d", dst)
+}
+
+// UnicastPath returns the e-cube channel path from src to dst, flipping
+// differing address bits from lowest to highest dimension.
+func (rt *HypercubeRouter) UnicastPath(src, dst topology.NodeID) (Path, error) {
+	if src == dst {
+		return nil, fmt.Errorf("routing: self destination %d", src)
+	}
+	g := rt.h.Graph
+	port, err := rt.UnicastPort(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	path := Path{g.Injection(src, port)}
+	cur := src
+	lastDim := port
+	for d := 0; d < rt.h.Dims(); d++ {
+		if (cur^dst)&(1<<uint(d)) != 0 {
+			path = append(path, g.LinkFrom(cur, d, 0))
+			cur ^= 1 << uint(d)
+			lastDim = d
+		}
+	}
+	path = append(path, g.Ejection(dst, lastDim))
+	return path, nil
+}
+
+// MulticastBranches expands a relative destination set into unicast
+// fan-out. The set uses a single bitstring (port 0): bit k-1 selects the
+// node src XOR k, so the same relative set works from every source
+// (hypercubes are vertex-symmetric under XOR translation).
+func (rt *HypercubeRouter) MulticastBranches(src topology.NodeID, set MulticastSet) ([]Branch, error) {
+	if len(set.Bits) != 1 {
+		return nil, fmt.Errorf("routing: hypercube multicast set must have 1 port, got %d", len(set.Bits))
+	}
+	n := rt.h.Nodes()
+	var branches []Branch
+	for _, k := range set.Hops(0) {
+		if k >= n {
+			return nil, fmt.Errorf("routing: XOR offset %d out of range (N=%d)", k, n)
+		}
+		dst := src ^ topology.NodeID(k)
+		path, err := rt.UnicastPath(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		port, _ := rt.UnicastPort(src, dst)
+		branches = append(branches, Branch{Port: port, Path: path, Targets: []topology.NodeID{dst}})
+	}
+	if len(branches) == 0 {
+		return nil, fmt.Errorf("routing: empty multicast set")
+	}
+	return branches, nil
+}
+
+var _ Router = (*HypercubeRouter)(nil)

@@ -1,0 +1,242 @@
+package routing
+
+import (
+	"fmt"
+
+	"quarc/internal/topology"
+)
+
+// MeshRouter implements deterministic dimension-order (XY) unicast routing
+// on a mesh or torus with all-port routers, plus dual-path Hamilton
+// multicast (Lin-Ni style): multicast worms snake along a Hamilton path of
+// the mesh in their own virtual-channel plane, absorbing-and-forwarding at
+// target nodes, exactly like the Quarc's BRCP streams do on the rim.
+//
+// This is the "future work" extension the paper's conclusion names: the
+// analytical model is topology-agnostic, so pointing it at this router
+// checks its validity on multi-port mesh and torus networks.
+type MeshRouter struct {
+	m *topology.Mesh
+}
+
+// NewMeshRouter returns a router over the given mesh or torus.
+func NewMeshRouter(m *topology.Mesh) *MeshRouter { return &MeshRouter{m: m} }
+
+// Graph returns the underlying channel graph.
+func (rt *MeshRouter) Graph() *topology.Graph { return rt.m.Graph }
+
+// Mesh returns the underlying topology.
+func (rt *MeshRouter) Mesh() *topology.Mesh { return rt.m }
+
+// xSteps plans the moves of one dimension: returns the direction class and
+// hop count. On a torus the shorter way around is taken (ties clockwise).
+func (rt *MeshRouter) steps(from, to, size int, plusClass, minusClass int) (class, hops int) {
+	if from == to {
+		return plusClass, 0
+	}
+	if !rt.m.Wrap() {
+		if to > from {
+			return plusClass, to - from
+		}
+		return minusClass, from - to
+	}
+	fwd := (to - from + size) % size
+	if fwd <= size-fwd {
+		return plusClass, fwd
+	}
+	return minusClass, size - fwd
+}
+
+// UnicastPort returns the injection port: the direction of the route's
+// first link (X dimension first).
+func (rt *MeshRouter) UnicastPort(src, dst topology.NodeID) (int, error) {
+	if src == dst {
+		return 0, fmt.Errorf("routing: no port for self destination %d", src)
+	}
+	sx, sy := rt.m.XY(src)
+	dx, dy := rt.m.XY(dst)
+	if sx != dx {
+		class, _ := rt.steps(sx, dx, rt.m.W(), topology.XPlus, topology.XMinus)
+		return class, nil
+	}
+	class, _ := rt.steps(sy, dy, rt.m.H(), topology.YPlus, topology.YMinus)
+	return class, nil
+}
+
+// UnicastPath returns the XY channel path from src to dst. On a torus the
+// route switches to the wrapped VC plane after crossing a ring's dateline
+// (the wrap link), which keeps dimension-order routing deadlock-free.
+func (rt *MeshRouter) UnicastPath(src, dst topology.NodeID) (Path, error) {
+	if src == dst {
+		return nil, fmt.Errorf("routing: self destination %d", src)
+	}
+	m := rt.m
+	g := m.Graph
+	sx, sy := m.XY(src)
+	dx, dy := m.XY(dst)
+
+	port, err := rt.UnicastPort(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	path := Path{g.Injection(src, port)}
+	lastClass := port
+
+	walk := func(fixed int, from, to, size int, plusClass, minusClass int, isX bool) error {
+		class, hops := rt.steps(from, to, size, plusClass, minusClass)
+		vc := topology.MeshVCUnicast
+		cur := from
+		for i := 0; i < hops; i++ {
+			var node topology.NodeID
+			if isX {
+				node = m.ID(cur, fixed)
+			} else {
+				node = m.ID(fixed, cur)
+			}
+			id := g.LinkFrom(node, class, vc)
+			if id == topology.None {
+				return fmt.Errorf("routing: missing link at node %d class %d vc %d", node, class, vc)
+			}
+			path = append(path, id)
+			if class == plusClass {
+				cur++
+				if cur == size { // crossed the wrap link: switch planes
+					cur = 0
+					vc = topology.TorusVCUnicastWrapped
+				}
+			} else {
+				cur--
+				if cur < 0 {
+					cur = size - 1
+					vc = topology.TorusVCUnicastWrapped
+				}
+			}
+			lastClass = class
+		}
+		return nil
+	}
+
+	if err := walk(sy, sx, dx, m.W(), topology.XPlus, topology.XMinus, true); err != nil {
+		return nil, err
+	}
+	if err := walk(dx, sy, dy, m.H(), topology.YPlus, topology.YMinus, false); err != nil {
+		return nil, err
+	}
+	path = append(path, g.Ejection(dst, lastClass))
+	return path, nil
+}
+
+// Mesh multicast set semantics: Bits[0] ("high path") bit k-1 selects the
+// node k positions ahead of the source on the Hamilton path; Bits[1]
+// ("low path") bit k-1 selects the node k positions behind. Ports 2 and 3
+// must be empty. Positions beyond the path ends are skipped (the mesh is
+// not vertex-symmetric), so border sources may serve fewer targets.
+func (rt *MeshRouter) MulticastBranches(src topology.NodeID, set MulticastSet) ([]Branch, error) {
+	if len(set.Bits) != topology.MeshPorts {
+		return nil, fmt.Errorf("routing: mesh multicast set must have %d ports, got %d",
+			topology.MeshPorts, len(set.Bits))
+	}
+	if set.Bits[2] != 0 || set.Bits[3] != 0 {
+		return nil, fmt.Errorf("routing: mesh multicast uses ports 0 (high) and 1 (low) only")
+	}
+	m := rt.m
+	n := m.Nodes()
+	base := m.HamiltonIndex(src)
+	var branches []Branch
+	for dir := 0; dir < 2; dir++ {
+		sign := 1
+		if dir == 1 {
+			sign = -1
+		}
+		var targets []topology.NodeID
+		last := 0
+		for _, k := range set.Hops(dir) {
+			idx := base + sign*k
+			if idx < 0 || idx >= n {
+				continue // clipped at the path end
+			}
+			targets = append(targets, m.HamiltonNode(idx))
+			last = k
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		path, err := rt.hamiltonPath(src, sign, last)
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, Branch{Port: int(rt.Graph().Channel(path[0]).Class), Path: path, Targets: targets})
+	}
+	if len(branches) == 0 {
+		return nil, fmt.Errorf("routing: multicast set has no reachable targets from node %d", src)
+	}
+	return branches, nil
+}
+
+// hamiltonPath builds the multicast-plane channel path from src along the
+// Hamilton path (sign = +1 high, -1 low) for the given number of steps.
+func (rt *MeshRouter) hamiltonPath(src topology.NodeID, sign, steps int) (Path, error) {
+	m := rt.m
+	g := m.Graph
+	base := m.HamiltonIndex(src)
+	cur := src
+	var links []topology.ChannelID
+	for i := 1; i <= steps; i++ {
+		next := m.HamiltonNode(base + sign*i)
+		class, err := rt.neighborClass(cur, next)
+		if err != nil {
+			return nil, err
+		}
+		id := g.LinkFrom(cur, class, topology.MeshVCMulticast)
+		if id == topology.None {
+			return nil, fmt.Errorf("routing: missing multicast link %d->%d", cur, next)
+		}
+		links = append(links, id)
+		cur = next
+	}
+	injPort := int(g.Channel(links[0]).Class)
+	path := Path{g.Injection(src, injPort)}
+	path = append(path, links...)
+	lastClass := int(g.Channel(links[len(links)-1]).Class)
+	path = append(path, g.Ejection(cur, lastClass))
+	return path, nil
+}
+
+// neighborClass returns the direction class of the link from a to its
+// mesh neighbour b.
+func (rt *MeshRouter) neighborClass(a, b topology.NodeID) (int, error) {
+	ax, ay := rt.m.XY(a)
+	bx, by := rt.m.XY(b)
+	switch {
+	case bx == ax+1 && by == ay:
+		return topology.XPlus, nil
+	case bx == ax-1 && by == ay:
+		return topology.XMinus, nil
+	case by == ay+1 && bx == ax:
+		return topology.YPlus, nil
+	case by == ay-1 && bx == ax:
+		return topology.YMinus, nil
+	}
+	return 0, fmt.Errorf("routing: nodes %d and %d are not mesh neighbours", a, b)
+}
+
+// HighLowSet builds a mesh multicast set with the given relative Hamilton
+// offsets ahead (high) and behind (low) the source.
+func (rt *MeshRouter) HighLowSet(high, low []int) (MulticastSet, error) {
+	set := NewMulticastSet(topology.MeshPorts)
+	for _, k := range high {
+		if k < 1 || k > 64 {
+			return set, fmt.Errorf("routing: high offset %d out of range 1..64", k)
+		}
+		set = set.Add(0, k)
+	}
+	for _, k := range low {
+		if k < 1 || k > 64 {
+			return set, fmt.Errorf("routing: low offset %d out of range 1..64", k)
+		}
+		set = set.Add(1, k)
+	}
+	return set, nil
+}
+
+var _ Router = (*MeshRouter)(nil)

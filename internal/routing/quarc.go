@@ -1,0 +1,204 @@
+package routing
+
+import (
+	"fmt"
+
+	"quarc/internal/topology"
+)
+
+// QuarcRouter implements the Quarc NoC's deterministic routing: the source
+// transceiver computes the destination quadrant and injects into the
+// corresponding port; intermediate switches only forward (no routing
+// logic), exactly as described in Sec. 3.3 of the paper.
+//
+// Broadcast/multicast follows the BRCP (Base Routing Conformed Path)
+// scheme: each branch follows the unicast route to the last node it must
+// visit, and intermediate targets absorb-and-forward the stream.
+type QuarcRouter struct {
+	q *topology.Quarc
+}
+
+// NewQuarcRouter returns a router over the given Quarc topology.
+func NewQuarcRouter(q *topology.Quarc) *QuarcRouter { return &QuarcRouter{q: q} }
+
+// Graph returns the underlying channel graph.
+func (rt *QuarcRouter) Graph() *topology.Graph { return rt.q.Graph }
+
+// Quarc returns the underlying Quarc topology.
+func (rt *QuarcRouter) Quarc() *topology.Quarc { return rt.q }
+
+// UnicastPort returns the injection port for a unicast src -> dst.
+func (rt *QuarcRouter) UnicastPort(src, dst topology.NodeID) (int, error) {
+	return rt.q.PortFor(src, dst)
+}
+
+// UnicastPath returns the full channel path of a unicast src -> dst.
+func (rt *QuarcRouter) UnicastPath(src, dst topology.NodeID) (Path, error) {
+	port, err := rt.q.PortFor(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	_, hop, err := rt.q.BranchHopOf(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return rt.branchPath(src, port, hop)
+}
+
+// branchPath builds the channel path from src along the given port's
+// stream up to branch-hop distance lastHop (>= 1), ending with the
+// ejection channel at the node reached there.
+func (rt *QuarcRouter) branchPath(src topology.NodeID, port, lastHop int) (Path, error) {
+	q := rt.q
+	g := q.Graph
+	n := topology.NodeID(q.Nodes())
+	half := n / 2
+	// One-port routers funnel every quadrant through the single PE port.
+	injPort := port
+	if g.Ports() == 1 {
+		injPort = 0
+	}
+	path := Path{g.Injection(src, injPort)}
+
+	appendRim := func(start topology.NodeID, hops int, class int) error {
+		cur := start
+		for i := 0; i < hops; i++ {
+			var vc int
+			var next topology.NodeID
+			if class == topology.RimPlus {
+				vc = q.RimPlusVC(start, cur)
+				next = (cur + 1) % n
+			} else {
+				vc = q.RimMinusVC(start, cur)
+				next = (cur - 1 + n) % n
+			}
+			id := g.LinkFrom(cur, class, vc)
+			if id == topology.None {
+				return fmt.Errorf("routing: missing rim link at node %d class %d vc %d", cur, class, vc)
+			}
+			path = append(path, id)
+			cur = next
+		}
+		return nil
+	}
+
+	var ejectPort int
+	switch port {
+	case topology.PortL:
+		if err := appendRim(src, lastHop, topology.RimPlus); err != nil {
+			return nil, err
+		}
+		ejectPort = topology.RimPlus
+	case topology.PortR:
+		if err := appendRim(src, lastHop, topology.RimMinus); err != nil {
+			return nil, err
+		}
+		ejectPort = topology.RimMinus
+	case topology.PortCL:
+		path = append(path, g.LinkFrom(src, topology.CrossL, 0))
+		opp := (src + half) % n
+		if err := appendRim(opp, lastHop-1, topology.RimMinus); err != nil {
+			return nil, err
+		}
+		if lastHop == 1 {
+			ejectPort = topology.CrossL
+		} else {
+			ejectPort = topology.RimMinus
+		}
+	case topology.PortCR:
+		path = append(path, g.LinkFrom(src, topology.CrossR, 0))
+		opp := (src + half) % n
+		if err := appendRim(opp, lastHop-1, topology.RimPlus); err != nil {
+			return nil, err
+		}
+		if lastHop == 1 {
+			ejectPort = topology.CrossR
+		} else {
+			ejectPort = topology.RimPlus
+		}
+	default:
+		return nil, fmt.Errorf("routing: invalid quarc port %d", port)
+	}
+
+	end, err := q.BranchNode(src, port, lastHop)
+	if err != nil {
+		return nil, err
+	}
+	if g.Ports() == 1 {
+		ejectPort = 0
+	}
+	path = append(path, g.Ejection(end, ejectPort))
+	return path, nil
+}
+
+// MulticastBranches expands a relative multicast set into one branch per
+// active port. Branch paths end at the last target of the port, matching
+// the Quarc header format where the destination address is the last node
+// to be visited and the bitstring selects the absorbing nodes.
+func (rt *QuarcRouter) MulticastBranches(src topology.NodeID, set MulticastSet) ([]Branch, error) {
+	if len(set.Bits) != topology.QuarcPorts {
+		return nil, fmt.Errorf("routing: quarc multicast set must have %d ports, got %d",
+			topology.QuarcPorts, len(set.Bits))
+	}
+	var branches []Branch
+	for port := 0; port < topology.QuarcPorts; port++ {
+		last := set.LastHop(port)
+		if last == 0 {
+			continue
+		}
+		lo, hi := rt.q.BranchHopRange(port)
+		if first := set.Hops(port)[0]; first < lo {
+			return nil, fmt.Errorf("routing: port %s target at hop %d below minimum %d",
+				topology.QuarcPortName(port), first, lo)
+		}
+		if last > hi {
+			return nil, fmt.Errorf("routing: port %s target at hop %d beyond quadrant end %d",
+				topology.QuarcPortName(port), last, hi)
+		}
+		path, err := rt.branchPath(src, port, last)
+		if err != nil {
+			return nil, err
+		}
+		var targets []topology.NodeID
+		for _, hop := range set.Hops(port) {
+			node, err := rt.q.BranchNode(src, port, hop)
+			if err != nil {
+				return nil, err
+			}
+			targets = append(targets, node)
+		}
+		branches = append(branches, Branch{Port: port, Path: path, Targets: targets})
+	}
+	return branches, nil
+}
+
+// BroadcastSet returns the multicast set that covers every node of the
+// Quarc network, reproducing the paper's Fig. 3 broadcast: the four branch
+// endpoints from node 0 in a 16-node network are nodes 4, 5, 11 and 12.
+func (rt *QuarcRouter) BroadcastSet() MulticastSet {
+	set := NewMulticastSet(topology.QuarcPorts)
+	for port := 0; port < topology.QuarcPorts; port++ {
+		lo, hi := rt.q.BranchHopRange(port)
+		for hop := lo; hop <= hi; hop++ {
+			set = set.Add(port, hop)
+		}
+	}
+	return set
+}
+
+// SetFromNodes converts an absolute destination node list (relative to
+// src) into the per-port bitstring representation. Destinations equal to
+// src are rejected.
+func (rt *QuarcRouter) SetFromNodes(src topology.NodeID, dests []topology.NodeID) (MulticastSet, error) {
+	set := NewMulticastSet(topology.QuarcPorts)
+	for _, d := range dests {
+		port, hop, err := rt.q.BranchHopOf(src, d)
+		if err != nil {
+			return set, err
+		}
+		set = set.Add(port, hop)
+	}
+	return set, nil
+}
+
+var _ Router = (*QuarcRouter)(nil)

@@ -1,0 +1,57 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"quarc/internal/topology"
+)
+
+// quarcPositions enumerates every valid (port, hop) receiver position of a
+// Quarc network — one entry per non-source node.
+func quarcPositions(q *topology.Quarc) [][2]int {
+	var pos [][2]int
+	for port := 0; port < topology.QuarcPorts; port++ {
+		lo, hi := q.BranchHopRange(port)
+		for hop := lo; hop <= hi; hop++ {
+			pos = append(pos, [2]int{port, hop})
+		}
+	}
+	return pos
+}
+
+// RandomSet draws a multicast destination set of k distinct relative
+// positions chosen uniformly from all N-1 valid positions, reproducing the
+// paper's Fig. 6 setup where "multicast destinations are selected randomly
+// at the beginning of the simulation".
+func (rt *QuarcRouter) RandomSet(rng *rand.Rand, k int) (MulticastSet, error) {
+	pos := quarcPositions(rt.q)
+	if k < 1 || k > len(pos) {
+		return MulticastSet{}, fmt.Errorf("routing: random set size %d out of range [1,%d]", k, len(pos))
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	set := NewMulticastSet(topology.QuarcPorts)
+	for _, p := range pos[:k] {
+		set = set.Add(p[0], p[1])
+	}
+	return set, nil
+}
+
+// LocalizedSet places k consecutive targets on a single rim starting at the
+// port's first receiver hop, reproducing the paper's Fig. 7 setup where
+// "the destination nodes are on the same rim".
+func (rt *QuarcRouter) LocalizedSet(port, k int) (MulticastSet, error) {
+	if port < 0 || port >= topology.QuarcPorts {
+		return MulticastSet{}, fmt.Errorf("routing: invalid port %d", port)
+	}
+	lo, hi := rt.q.BranchHopRange(port)
+	if k < 1 || lo+k-1 > hi {
+		return MulticastSet{}, fmt.Errorf("routing: localized set size %d does not fit port %s range [%d,%d]",
+			k, topology.QuarcPortName(port), lo, hi)
+	}
+	set := NewMulticastSet(topology.QuarcPorts)
+	for hop := lo; hop < lo+k; hop++ {
+		set = set.Add(port, hop)
+	}
+	return set, nil
+}

@@ -1,0 +1,158 @@
+// Package routing turns (source, destination) pairs and multicast
+// destination sets into explicit channel paths over a topology.Graph.
+//
+// All routing here is deterministic, as the paper's model assumes: the
+// route is fully determined by the injection port the source transceiver
+// selects. A Path is the complete ordered channel sequence a header flit
+// acquires — injection channel first, ejection channel last — so that
+// len(Path) is exactly the zero-load pipeline depth of the header.
+package routing
+
+import (
+	"fmt"
+
+	"quarc/internal/topology"
+)
+
+// Path is the ordered sequence of channels a worm acquires, from the
+// injection channel at the source to the ejection channel at the final
+// destination.
+type Path []topology.ChannelID
+
+// Hops returns the number of channel crossings (pipeline depth) of the
+// header along the path.
+func (p Path) Hops() int { return len(p) }
+
+// Branch is one stream of a multicast operation: the worm a source injects
+// into one port. Intermediate Targets absorb-and-forward the stream; the
+// last target is the stream's endpoint (the header's destination address).
+type Branch struct {
+	// Port is the injection port the branch leaves through.
+	Port int
+	// Path is the full channel path to the branch's last target.
+	Path Path
+	// Targets lists the absorbing nodes in visit order; the final element
+	// is the branch endpoint.
+	Targets []topology.NodeID
+}
+
+// Unicaster produces deterministic unicast routes.
+type Unicaster interface {
+	// UnicastPath returns the channel path from src to dst (src != dst).
+	UnicastPath(src, dst topology.NodeID) (Path, error)
+	// UnicastPort returns the injection port a unicast src->dst takes.
+	UnicastPort(src, dst topology.NodeID) (int, error)
+}
+
+// Multicaster produces the per-port branches of a multicast operation.
+type Multicaster interface {
+	// MulticastBranches returns one branch per injection port that has at
+	// least one target in the given relative destination set.
+	MulticastBranches(src topology.NodeID, set MulticastSet) ([]Branch, error)
+}
+
+// Router combines unicast and multicast routing over one topology.
+type Router interface {
+	Unicaster
+	Multicaster
+	// Graph returns the channel graph the router routes over.
+	Graph() *topology.Graph
+}
+
+// MulticastSet is a relative multicast destination set expressed exactly as
+// in the paper's figures: one bitstring per injection port, where bit k-1
+// set means "the node at branch-hop distance k on this port's stream is a
+// target". The same relative set is used by every source node, which
+// preserves the vertex symmetry of the network.
+type MulticastSet struct {
+	// Bits[port] holds the bitstring for that port; bit (hop-1) selects
+	// the node at branch-hop distance hop.
+	Bits []uint64
+}
+
+// NewMulticastSet returns an empty set for a router with the given number
+// of ports.
+func NewMulticastSet(ports int) MulticastSet {
+	return MulticastSet{Bits: make([]uint64, ports)}
+}
+
+// Add marks the node at branch-hop distance hop (>= 1) on the given port.
+func (s MulticastSet) Add(port, hop int) MulticastSet {
+	s.Bits[port] |= 1 << uint(hop-1)
+	return s
+}
+
+// Has reports whether the node at branch-hop distance hop on port is a
+// target.
+func (s MulticastSet) Has(port, hop int) bool {
+	return s.Bits[port]&(1<<uint(hop-1)) != 0
+}
+
+// LastHop returns the largest marked hop distance on port, or 0 if the
+// port has no targets.
+func (s MulticastSet) LastHop(port int) int {
+	b := s.Bits[port]
+	last := 0
+	for hop := 1; b != 0; hop++ {
+		if b&1 != 0 {
+			last = hop
+		}
+		b >>= 1
+	}
+	return last
+}
+
+// Hops returns the marked hop distances on port in increasing order.
+func (s MulticastSet) Hops(port int) []int {
+	var hops []int
+	b := s.Bits[port]
+	for hop := 1; b != 0; hop++ {
+		if b&1 != 0 {
+			hops = append(hops, hop)
+		}
+		b >>= 1
+	}
+	return hops
+}
+
+// Size returns the total number of targets across all ports.
+func (s MulticastSet) Size() int {
+	total := 0
+	for _, b := range s.Bits {
+		for ; b != 0; b &= b - 1 {
+			total++
+		}
+	}
+	return total
+}
+
+// Empty reports whether no port has any target.
+func (s MulticastSet) Empty() bool { return s.Size() == 0 }
+
+// ActivePorts returns the ports that have at least one target.
+func (s MulticastSet) ActivePorts() []int {
+	var ports []int
+	for p, b := range s.Bits {
+		if b != 0 {
+			ports = append(ports, p)
+		}
+	}
+	return ports
+}
+
+// String renders the set with the paper's L/LO/RO/R labels when it has four
+// ports, and generic port labels otherwise.
+func (s MulticastSet) String() string {
+	out := ""
+	for p, b := range s.Bits {
+		if p > 0 {
+			out += " "
+		}
+		label := fmt.Sprintf("P%d", p)
+		if len(s.Bits) == topology.QuarcPorts {
+			label = topology.QuarcPortName(p)
+		}
+		out += fmt.Sprintf("%s=%b", label, b)
+	}
+	return out
+}

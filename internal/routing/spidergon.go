@@ -1,0 +1,165 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"quarc/internal/topology"
+)
+
+// SpidergonRouter implements the Spidergon's deterministic Across-First
+// routing: destinations within a quarter of the ring are reached directly
+// along the rim; all others take the cross link first and then travel the
+// rim on the opposite side.
+//
+// The Spidergon has no hardware multicast: as the paper notes, deadlock-
+// free broadcast/multicast "can only be achieved by consecutive unicast
+// transmissions". MulticastBranches therefore expands a destination set
+// into one unicast worm per destination, all funneled through the single
+// injection port — the broadcast-by-unicast baseline the Quarc is compared
+// against.
+type SpidergonRouter struct {
+	s *topology.Spidergon
+}
+
+// NewSpidergonRouter returns a router over the given Spidergon topology.
+func NewSpidergonRouter(s *topology.Spidergon) *SpidergonRouter { return &SpidergonRouter{s: s} }
+
+// Graph returns the underlying channel graph.
+func (rt *SpidergonRouter) Graph() *topology.Graph { return rt.s.Graph }
+
+// Spidergon returns the underlying topology.
+func (rt *SpidergonRouter) Spidergon() *topology.Spidergon { return rt.s }
+
+// UnicastPort returns 0: the Spidergon router is one-port.
+func (rt *SpidergonRouter) UnicastPort(src, dst topology.NodeID) (int, error) {
+	if src == dst {
+		return 0, fmt.Errorf("routing: no port for self destination %d", src)
+	}
+	return 0, nil
+}
+
+// UnicastPath returns the Across-First channel path from src to dst.
+func (rt *SpidergonRouter) UnicastPath(src, dst topology.NodeID) (Path, error) {
+	s := rt.s
+	g := s.Graph
+	if src == dst {
+		return nil, fmt.Errorf("routing: self destination %d", src)
+	}
+	n := topology.NodeID(s.Nodes())
+	r := s.Rel(src, dst)
+	quarter := s.Nodes() / 4
+	path := Path{g.Injection(src, 0)}
+
+	appendRim := func(start topology.NodeID, hops int, class int) {
+		cur := start
+		for i := 0; i < hops; i++ {
+			var vc int
+			var next topology.NodeID
+			if class == topology.RimPlus {
+				vc = s.RimPlusVC(start, cur)
+				next = (cur + 1) % n
+			} else {
+				vc = s.RimMinusVC(start, cur)
+				next = (cur - 1 + n) % n
+			}
+			path = append(path, g.LinkFrom(cur, class, vc))
+			cur = next
+		}
+	}
+
+	switch {
+	case r <= quarter:
+		appendRim(src, r, topology.RimPlus)
+	case s.Nodes()-r <= quarter:
+		appendRim(src, s.Nodes()-r, topology.RimMinus)
+	default:
+		path = append(path, g.LinkFrom(src, topology.CrossL, 0))
+		opp := (src + n/2) % n
+		rem := s.Rel(opp, dst)
+		if rem == 0 {
+			// Destination is the opposite node itself.
+		} else if rem <= s.Nodes()/2 {
+			appendRim(opp, rem, topology.RimPlus)
+		} else {
+			appendRim(opp, s.Nodes()-rem, topology.RimMinus)
+		}
+	}
+	path = append(path, g.Ejection(dst, 0))
+	return path, nil
+}
+
+// MulticastBranches expands the relative destination set into consecutive
+// unicasts. The set uses a single bitstring (port 0): bit k-1 selects the
+// node at relative position k clockwise from the source.
+func (rt *SpidergonRouter) MulticastBranches(src topology.NodeID, set MulticastSet) ([]Branch, error) {
+	if len(set.Bits) != 1 {
+		return nil, fmt.Errorf("routing: spidergon multicast set must have 1 port, got %d", len(set.Bits))
+	}
+	n := topology.NodeID(rt.s.Nodes())
+	var branches []Branch
+	for _, k := range set.Hops(0) {
+		if k >= rt.s.Nodes() {
+			return nil, fmt.Errorf("routing: relative position %d out of range", k)
+		}
+		dst := (src + topology.NodeID(k)) % n
+		path, err := rt.UnicastPath(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, Branch{Port: 0, Path: path, Targets: []topology.NodeID{dst}})
+	}
+	if len(branches) == 0 {
+		return nil, fmt.Errorf("routing: empty multicast set")
+	}
+	return branches, nil
+}
+
+// BroadcastSet returns the set covering every node: relative positions
+// 1..N-1, i.e. N-1 consecutive unicasts (the paper's point about the
+// Spidergon needing N-1 transmissions).
+func (rt *SpidergonRouter) BroadcastSet() MulticastSet {
+	set := NewMulticastSet(1)
+	for k := 1; k < rt.s.Nodes(); k++ {
+		set = set.Add(0, k)
+	}
+	return set
+}
+
+// RandomSet draws k distinct relative positions uniformly from 1..N-1,
+// the Spidergon counterpart of the Quarc's Fig. 6 destination regime.
+func (rt *SpidergonRouter) RandomSet(rng *rand.Rand, k int) (MulticastSet, error) {
+	n := rt.s.Nodes()
+	if k < 1 || k > n-1 {
+		return MulticastSet{}, fmt.Errorf("routing: random set size %d out of range [1,%d]", k, n-1)
+	}
+	if n-1 > 64 {
+		return MulticastSet{}, fmt.Errorf("routing: spidergon sets support up to 65 nodes, got %d", n)
+	}
+	pos := make([]int, n-1)
+	for i := range pos {
+		pos[i] = i + 1
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	set := NewMulticastSet(1)
+	for _, p := range pos[:k] {
+		set = set.Add(0, p)
+	}
+	return set, nil
+}
+
+// LocalizedSet marks the k nearest clockwise neighbours, the counterpart
+// of the Quarc's Fig. 7 same-rim regime.
+func (rt *SpidergonRouter) LocalizedSet(k int) (MulticastSet, error) {
+	n := rt.s.Nodes()
+	if k < 1 || k > n-1 || k > 64 {
+		return MulticastSet{}, fmt.Errorf("routing: localized set size %d out of range", k)
+	}
+	set := NewMulticastSet(1)
+	for p := 1; p <= k; p++ {
+		set = set.Add(0, p)
+	}
+	return set, nil
+}
+
+var _ Router = (*SpidergonRouter)(nil)

@@ -1,0 +1,124 @@
+package routing
+
+import (
+	"fmt"
+
+	"quarc/internal/topology"
+)
+
+// TableRouter routes over arbitrary topologies from precomputed path
+// tables. It exists for custom or irregular networks (and for tests that
+// need exact hand-constructed routes): fill in every ordered pair once,
+// then the analytical model and the simulator both consume it like any
+// other Router.
+//
+// Multicast uses unicast fan-out with single-bitstring set semantics: bit
+// k-1 of port 0 selects the node at ID offset k, i.e. (src + k) mod N.
+type TableRouter struct {
+	g     *topology.Graph
+	paths map[[2]topology.NodeID]Path
+}
+
+// NewTableRouter creates an empty table router over the graph.
+func NewTableRouter(g *topology.Graph) *TableRouter {
+	return &TableRouter{g: g, paths: make(map[[2]topology.NodeID]Path)}
+}
+
+// SetPath registers the path for src -> dst. The path must start with an
+// injection channel at src and end with an ejection channel at dst, and
+// its links must be physically consecutive.
+func (rt *TableRouter) SetPath(src, dst topology.NodeID, p Path) error {
+	if src == dst {
+		return fmt.Errorf("routing: cannot set a self path for %d", src)
+	}
+	if len(p) < 2 {
+		return fmt.Errorf("routing: path %d->%d too short", src, dst)
+	}
+	first := rt.g.Channel(p[0])
+	if first.Kind != topology.Injection || first.Src != src {
+		return fmt.Errorf("routing: path %d->%d must start with an injection channel at %d", src, dst, src)
+	}
+	last := rt.g.Channel(p[len(p)-1])
+	if last.Kind != topology.Ejection || last.Src != dst {
+		return fmt.Errorf("routing: path %d->%d must end with an ejection channel at %d", src, dst, dst)
+	}
+	cur := src
+	for _, id := range p[1 : len(p)-1] {
+		c := rt.g.Channel(id)
+		if c.Kind != topology.Link || c.Src != cur {
+			return fmt.Errorf("routing: path %d->%d broken at channel %v", src, dst, c)
+		}
+		cur = c.Dst
+	}
+	if cur != dst {
+		return fmt.Errorf("routing: path %d->%d ends at node %d", src, dst, cur)
+	}
+	rt.paths[[2]topology.NodeID{src, dst}] = p
+	return nil
+}
+
+// Complete reports whether every ordered pair has a path.
+func (rt *TableRouter) Complete() error {
+	n := rt.g.Nodes()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			if _, ok := rt.paths[[2]topology.NodeID{topology.NodeID(src), topology.NodeID(dst)}]; !ok {
+				return fmt.Errorf("routing: missing path %d->%d", src, dst)
+			}
+		}
+	}
+	return nil
+}
+
+// Graph returns the underlying channel graph.
+func (rt *TableRouter) Graph() *topology.Graph { return rt.g }
+
+// UnicastPath returns the registered path.
+func (rt *TableRouter) UnicastPath(src, dst topology.NodeID) (Path, error) {
+	p, ok := rt.paths[[2]topology.NodeID{src, dst}]
+	if !ok {
+		return nil, fmt.Errorf("routing: no path %d->%d", src, dst)
+	}
+	return p, nil
+}
+
+// UnicastPort returns the injection port of the registered path.
+func (rt *TableRouter) UnicastPort(src, dst topology.NodeID) (int, error) {
+	p, err := rt.UnicastPath(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return rt.g.Channel(p[0]).Class, nil
+}
+
+// MulticastBranches expands the set into unicast fan-out (one branch per
+// destination).
+func (rt *TableRouter) MulticastBranches(src topology.NodeID, set MulticastSet) ([]Branch, error) {
+	if len(set.Bits) != 1 {
+		return nil, fmt.Errorf("routing: table multicast set must have 1 port, got %d", len(set.Bits))
+	}
+	n := topology.NodeID(rt.g.Nodes())
+	var branches []Branch
+	for _, k := range set.Hops(0) {
+		dst := (src + topology.NodeID(k)) % n
+		if dst == src {
+			return nil, fmt.Errorf("routing: offset %d wraps to the source", k)
+		}
+		p, err := rt.UnicastPath(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, Branch{
+			Port: rt.g.Channel(p[0]).Class, Path: p, Targets: []topology.NodeID{dst},
+		})
+	}
+	if len(branches) == 0 {
+		return nil, fmt.Errorf("routing: empty multicast set")
+	}
+	return branches, nil
+}
+
+var _ Router = (*TableRouter)(nil)

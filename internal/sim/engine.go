@@ -1,0 +1,108 @@
+// Package sim implements a small discrete-event simulation engine.
+//
+// The engine maintains a pending-event set ordered by (time, sequence):
+// events scheduled at the same instant fire in the order they were
+// scheduled, which makes runs fully deterministic for a fixed seed. Time is
+// a float64 number of flit-cycles; the wormhole simulator schedules channel
+// grants, header advances and tail releases as events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback to run at a simulated instant. The callback receives
+// the engine so it can schedule further events.
+type Event func(e *Engine)
+
+type item struct {
+	t   float64
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now     float64
+	seq     uint64
+	heap    eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it always indicates a logic error in the caller.
+func (e *Engine) At(t float64, fn Event) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN")
+	}
+	e.seq++
+	heap.Push(&e.heap, item{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d time units from now.
+func (e *Engine) After(d float64, fn Event) { e.At(e.now+d, fn) }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the event set is empty, Stop is
+// called, or simulated time would exceed horizon (events strictly beyond
+// the horizon are left unfired). It returns the time of the last fired
+// event (or the current time if none fired).
+func (e *Engine) Run(horizon float64) float64 {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].t > horizon {
+			break
+		}
+		it := heap.Pop(&e.heap).(item)
+		e.now = it.t
+		e.fired++
+		it.fn(e)
+	}
+	if e.now < horizon && len(e.heap) == 0 && !math.IsInf(horizon, 1) {
+		// Advance to the horizon so repeated Run calls see monotone time.
+		e.now = horizon
+	}
+	return e.now
+}
+
+// RunAll executes events until none remain or Stop is called.
+func (e *Engine) RunAll() float64 { return e.Run(math.Inf(1)) }

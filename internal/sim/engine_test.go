@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestRunsEventsInTimeOrder(t *testing.T) {
+	e := New()
+	var order []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		tm := tm
+		e.At(tm, func(e *Engine) { order = append(order, tm) })
+	}
+	e.RunAll()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(order), len(times))
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1.0, func(e *Engine) { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	e := New()
+	var seen []float64
+	e.At(1, func(e *Engine) { seen = append(seen, e.Now()) })
+	e.At(2.5, func(e *Engine) { seen = append(seen, e.Now()) })
+	e.RunAll()
+	if seen[0] != 1 || seen[1] != 2.5 {
+		t.Fatalf("Now() inside events = %v, want [1 2.5]", seen)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := New()
+	count := 0
+	var chain func(e *Engine)
+	chain = func(e *Engine) {
+		count++
+		if count < 5 {
+			e.After(1, chain)
+		}
+	}
+	e.At(0, chain)
+	end := e.RunAll()
+	if count != 5 {
+		t.Fatalf("chain fired %d times, want 5", count)
+	}
+	if end != 4 {
+		t.Fatalf("final time = %v, want 4", end)
+	}
+}
+
+func TestHorizonStopsExecution(t *testing.T) {
+	e := New()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func(e *Engine) { fired++ })
+	}
+	e.Run(5)
+	if fired != 5 {
+		t.Fatalf("fired %d events by horizon 5, want 5", fired)
+	}
+	// The remaining events are still pending and fire on a later Run.
+	e.Run(100)
+	if fired != 10 {
+		t.Fatalf("fired %d events total, want 10", fired)
+	}
+}
+
+func TestRunAdvancesToHorizonWhenIdle(t *testing.T) {
+	e := New()
+	e.Run(50)
+	if e.Now() != 50 {
+		t.Fatalf("idle run should advance clock to horizon, now=%v", e.Now())
+	}
+	// Scheduling after an idle advance must still work.
+	ok := false
+	e.At(60, func(e *Engine) { ok = true })
+	e.RunAll()
+	if !ok {
+		t.Fatal("event after idle advance did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func(e *Engine) {
+			fired++
+			if fired == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if fired != 3 {
+		t.Fatalf("fired %d events before Stop, want 3", fired)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d after Stop, want 7", e.Pending())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func(e *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5, func(e *Engine) {})
+	})
+	e.RunAll()
+}
+
+func TestSchedulingNaNPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling at NaN")
+		}
+	}()
+	e.At(math.NaN(), func(e *Engine) {})
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.At(float64(i), func(e *Engine) {})
+	}
+	e.RunAll()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", e.Fired())
+	}
+}
+
+// Stress: many random events must fire in nondecreasing time order.
+func TestRandomizedOrdering(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewPCG(7, 9))
+	last := math.Inf(-1)
+	violations := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		e.At(rng.Float64()*1000, func(e *Engine) {
+			if e.Now() < last {
+				violations++
+			}
+			last = e.Now()
+		})
+	}
+	e.RunAll()
+	if violations != 0 {
+		t.Fatalf("%d time-order violations", violations)
+	}
+	if e.Fired() != n {
+		t.Fatalf("fired %d, want %d", e.Fired(), n)
+	}
+}

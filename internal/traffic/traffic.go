@@ -1,0 +1,160 @@
+// Package traffic generates the workloads the paper evaluates: every node
+// produces messages according to a Poisson process; a fraction α of the
+// messages are multicasts to a fixed relative destination set and the rest
+// are unicasts to uniformly random destinations.
+//
+// Workload satisfies the wormhole simulator's Traffic interface and is also
+// consumed by the analytical model, which enumerates the same routes with
+// the same rates — both sides of the validation therefore see exactly the
+// same traffic specification.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+)
+
+// Spec describes a workload independent of any RNG state.
+type Spec struct {
+	// Rate is the message generation rate per node, messages/cycle.
+	Rate float64
+	// MulticastFrac is α, the fraction of generated messages that are
+	// multicasts (0 disables multicast).
+	MulticastFrac float64
+	// Set is the relative multicast destination set shared by all nodes.
+	Set routing.MulticastSet
+	// HotspotFrac skews unicast destinations: with this probability a
+	// unicast goes to HotspotNode instead of a uniform destination (the
+	// classic hotspot traffic pattern; 0 keeps the paper's uniform
+	// assumption). Sources equal to the hotspot fall back to uniform.
+	HotspotFrac float64
+	// HotspotNode is the hotspot destination.
+	HotspotNode topology.NodeID
+}
+
+// Validate checks the spec's numeric ranges.
+func (s Spec) Validate() error {
+	if s.Rate < 0 || math.IsNaN(s.Rate) || math.IsInf(s.Rate, 0) {
+		return fmt.Errorf("traffic: invalid rate %v", s.Rate)
+	}
+	if s.MulticastFrac < 0 || s.MulticastFrac > 1 || math.IsNaN(s.MulticastFrac) {
+		return fmt.Errorf("traffic: invalid multicast fraction %v", s.MulticastFrac)
+	}
+	if s.MulticastFrac > 0 && s.Set.Empty() {
+		return fmt.Errorf("traffic: multicast fraction %v with empty destination set", s.MulticastFrac)
+	}
+	if s.HotspotFrac < 0 || s.HotspotFrac > 1 || math.IsNaN(s.HotspotFrac) {
+		return fmt.Errorf("traffic: invalid hotspot fraction %v", s.HotspotFrac)
+	}
+	return nil
+}
+
+// UnicastProb returns the probability that a unicast generated at src is
+// destined for dst under this spec (zero for dst == src). The analytical
+// model enumerates flows with exactly these probabilities, so model and
+// simulator always describe the same traffic.
+func (s Spec) UnicastProb(n int, src, dst topology.NodeID) float64 {
+	if src == dst {
+		return 0
+	}
+	uniform := 1.0 / float64(n-1)
+	if s.HotspotFrac == 0 || src == s.HotspotNode {
+		return uniform
+	}
+	p := (1 - s.HotspotFrac) * uniform
+	if dst == s.HotspotNode {
+		p += s.HotspotFrac
+	}
+	return p
+}
+
+// Workload is a reproducible Poisson workload over a router. It implements
+// the wormhole simulator's Traffic interface.
+type Workload struct {
+	spec   Spec
+	router routing.Router
+	n      int
+	rngs   []*rand.Rand
+	// branches caches the multicast branches per source (the set is
+	// relative, so they are fixed for the whole run).
+	branches [][]routing.Branch
+}
+
+// NewWorkload builds a workload over the given router. Each node gets an
+// independent RNG stream derived from seed, so runs are reproducible and
+// node processes are mutually independent.
+func NewWorkload(router routing.Router, spec Spec, seed uint64) (*Workload, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := router.Graph().Nodes()
+	w := &Workload{spec: spec, router: router, n: n, rngs: make([]*rand.Rand, n)}
+	for i := 0; i < n; i++ {
+		w.rngs[i] = rand.New(rand.NewPCG(seed, uint64(i)*0x9e3779b97f4a7c15+1))
+	}
+	if spec.MulticastFrac > 0 {
+		w.branches = make([][]routing.Branch, n)
+		for src := 0; src < n; src++ {
+			b, err := router.MulticastBranches(topology.NodeID(src), spec.Set)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: multicast branches for node %d: %w", src, err)
+			}
+			w.branches[src] = b
+		}
+	}
+	return w, nil
+}
+
+// Spec returns the workload specification.
+func (w *Workload) Spec() Spec { return w.spec }
+
+// Interarrival draws the exponential gap until node's next message.
+func (w *Workload) Interarrival(node topology.NodeID) float64 {
+	if w.spec.Rate <= 0 {
+		return math.Inf(1)
+	}
+	return w.rngs[node].ExpFloat64() / w.spec.Rate
+}
+
+// Next draws the next message generated at node: a multicast with
+// probability α, otherwise a unicast to a uniform destination != node.
+func (w *Workload) Next(node topology.NodeID) ([]routing.Branch, bool) {
+	rng := w.rngs[node]
+	if w.spec.MulticastFrac > 0 && rng.Float64() < w.spec.MulticastFrac {
+		return w.branches[node], true
+	}
+	dst := w.uniformDest(rng, node)
+	if w.spec.HotspotFrac > 0 && node != w.spec.HotspotNode &&
+		rng.Float64() < w.spec.HotspotFrac {
+		dst = w.spec.HotspotNode
+	}
+	path, err := w.router.UnicastPath(node, dst)
+	if err != nil {
+		// Routing of a valid pair never fails; a failure here is a
+		// programming error, not a runtime condition.
+		panic(fmt.Sprintf("traffic: unicast path %d->%d: %v", node, dst, err))
+	}
+	port, _ := w.router.UnicastPort(node, dst)
+	return []routing.Branch{{Port: port, Path: path, Targets: []topology.NodeID{dst}}}, false
+}
+
+func (w *Workload) uniformDest(rng *rand.Rand, src topology.NodeID) topology.NodeID {
+	d := topology.NodeID(rng.IntN(w.n - 1))
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// MulticastBranchesOf exposes the cached branches of a source node (used
+// by the analytical model to enumerate flows, and by tests).
+func (w *Workload) MulticastBranchesOf(src topology.NodeID) []routing.Branch {
+	if w.branches == nil {
+		return nil
+	}
+	return w.branches[src]
+}

@@ -1,0 +1,208 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+)
+
+func quarcRouter(t *testing.T, n int) *routing.QuarcRouter {
+	t.Helper()
+	q, err := topology.NewQuarc(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return routing.NewQuarcRouter(q)
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Rate: 0.01}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Rate: -1},
+		{Rate: math.NaN()},
+		{Rate: math.Inf(1)},
+		{Rate: 0.01, MulticastFrac: -0.1},
+		{Rate: 0.01, MulticastFrac: 1.5},
+		{Rate: 0.01, MulticastFrac: 0.5}, // empty set
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestInterarrivalMeanMatchesRate(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	rate := 0.02
+	w, err := NewWorkload(rt, Spec{Rate: rate}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += w.Interarrival(3)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate)/(1/rate) > 0.03 {
+		t.Fatalf("mean interarrival = %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestInterarrivalZeroRateDisabled(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	w, err := NewWorkload(rt, Spec{Rate: 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(w.Interarrival(0), 1) {
+		t.Fatal("zero rate must return +Inf interarrival")
+	}
+}
+
+func TestNextMixesUnicastAndMulticast(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	set, err := rt.LocalizedSet(topology.PortL, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := 0.3
+	w, err := NewWorkload(rt, Spec{Rate: 0.01, MulticastFrac: alpha, Set: set}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	multicasts := 0
+	for i := 0; i < n; i++ {
+		branches, isMulti := w.Next(2)
+		if isMulti {
+			multicasts++
+			if len(branches) != 1 { // localized set: one active port
+				t.Fatalf("multicast branches = %d, want 1", len(branches))
+			}
+			if len(branches[0].Targets) != 2 {
+				t.Fatalf("multicast targets = %d, want 2", len(branches[0].Targets))
+			}
+		} else {
+			if len(branches) != 1 || len(branches[0].Targets) != 1 {
+				t.Fatalf("unicast shape wrong: %+v", branches)
+			}
+			if branches[0].Targets[0] == 2 {
+				t.Fatal("unicast to self")
+			}
+		}
+	}
+	frac := float64(multicasts) / n
+	if math.Abs(frac-alpha) > 0.02 {
+		t.Fatalf("multicast fraction = %v, want ~%v", frac, alpha)
+	}
+}
+
+func TestUnicastDestinationsUniform(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	w, err := NewWorkload(rt, Spec{Rate: 0.01}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[topology.NodeID]int)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		branches, _ := w.Next(0)
+		counts[branches[0].Targets[0]]++
+	}
+	if len(counts) != 15 {
+		t.Fatalf("destinations cover %d nodes, want 15", len(counts))
+	}
+	want := float64(n) / 15
+	for dst, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.15 {
+			t.Errorf("destination %d drawn %d times, want ~%.0f", dst, c, want)
+		}
+	}
+}
+
+func TestWorkloadDeterministicPerSeed(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	mk := func(seed uint64) []float64 {
+		w, err := NewWorkload(rt, Spec{Rate: 0.01}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for i := 0; i < 50; i++ {
+			out = append(out, w.Interarrival(4))
+		}
+		return out
+	}
+	a, b := mk(9), mk(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	c := mk(10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestNodeStreamsIndependent(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	w, err := NewWorkload(rt, Spec{Rate: 0.01}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := w.Interarrival(0)
+	b := w.Interarrival(1)
+	if a == b {
+		t.Fatal("distinct node streams produced identical first draws")
+	}
+}
+
+func TestMulticastBranchesCached(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	set, err := rt.LocalizedSet(topology.PortR, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(rt, Spec{Rate: 0.01, MulticastFrac: 1, Set: set}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node := topology.NodeID(0); node < 16; node++ {
+		b := w.MulticastBranchesOf(node)
+		if len(b) != 1 || len(b[0].Targets) != 3 {
+			t.Fatalf("cached branches wrong at node %d: %+v", node, b)
+		}
+	}
+	// Without multicast the cache is nil.
+	w2, err := NewWorkload(rt, Spec{Rate: 0.01}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.MulticastBranchesOf(0) != nil {
+		t.Fatal("unicast-only workload has multicast branches")
+	}
+}
+
+func TestNewWorkloadRejectsBadSet(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	// A set with an out-of-range hop must be rejected at construction.
+	bad := routing.NewMulticastSet(topology.QuarcPorts).Add(topology.PortL, 10)
+	if _, err := NewWorkload(rt, Spec{Rate: 0.01, MulticastFrac: 0.1, Set: bad}, 1); err == nil {
+		t.Fatal("invalid multicast set accepted")
+	}
+}

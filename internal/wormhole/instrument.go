@@ -1,0 +1,109 @@
+package wormhole
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quarc/internal/stats"
+	"quarc/internal/topology"
+)
+
+// ChannelStats is the per-channel measurement exported after a run, used
+// to cross-validate the analytical model's flow enumeration: the measured
+// arrival rate of every channel must match the model's λ, and the measured
+// mean holding time its x̄.
+type ChannelStats struct {
+	ID topology.ChannelID
+	// Grants is the number of worms granted the channel during the
+	// measurement window.
+	Grants int64
+	// Rate is Grants divided by the window length (messages/cycle).
+	Rate float64
+	// Utilization is the fraction of the window the channel was held.
+	Utilization float64
+	// MeanHold is the mean holding time per grant (cycles); NaN if the
+	// channel was never granted.
+	MeanHold float64
+}
+
+// Instrumentation holds the optional fine-grained measurements. Enable
+// with Config.Detail; all fields are valid after Run.
+type Instrumentation struct {
+	// PerPortUnicast breaks unicast latency down by injection port.
+	PerPortUnicast map[int]*stats.Running
+	// PerDistanceUnicast breaks unicast latency down by header pipeline
+	// depth (path channel count - 1), validating the model's D term.
+	PerDistanceUnicast map[int]*stats.Running
+	// UnicastHist and MulticastHist are latency histograms.
+	UnicastHist   *stats.Histogram
+	MulticastHist *stats.Histogram
+	// Channels is the per-channel measurement table.
+	Channels []ChannelStats
+}
+
+// newInstrumentation sizes the histograms from the message length: the
+// interesting range is a few multiples of the zero-load latency.
+func newInstrumentation(msgLen int) *Instrumentation {
+	hi := float64(40 * msgLen)
+	return &Instrumentation{
+		PerPortUnicast:     make(map[int]*stats.Running),
+		PerDistanceUnicast: make(map[int]*stats.Running),
+		UnicastHist:        stats.NewHistogram(0, hi, 200),
+		MulticastHist:      stats.NewHistogram(0, hi, 200),
+	}
+}
+
+func (ins *Instrumentation) recordUnicast(port, depth int, lat float64) {
+	r, ok := ins.PerPortUnicast[port]
+	if !ok {
+		r = &stats.Running{}
+		ins.PerPortUnicast[port] = r
+	}
+	r.Add(lat)
+	r, ok = ins.PerDistanceUnicast[depth]
+	if !ok {
+		r = &stats.Running{}
+		ins.PerDistanceUnicast[depth] = r
+	}
+	r.Add(lat)
+	ins.UnicastHist.Add(lat)
+}
+
+// Summary renders the instrumentation as a fixed-width report.
+func (ins *Instrumentation) Summary() string {
+	var b strings.Builder
+	if len(ins.PerPortUnicast) > 0 {
+		fmt.Fprintf(&b, "unicast latency by injection port:\n")
+		ports := make([]int, 0, len(ins.PerPortUnicast))
+		for p := range ins.PerPortUnicast {
+			ports = append(ports, p)
+		}
+		sort.Ints(ports)
+		for _, p := range ports {
+			r := ins.PerPortUnicast[p]
+			fmt.Fprintf(&b, "  port %d: mean %.2f (n=%d)\n", p, r.Mean(), r.N())
+		}
+	}
+	if len(ins.PerDistanceUnicast) > 0 {
+		fmt.Fprintf(&b, "unicast latency by header depth:\n")
+		depths := make([]int, 0, len(ins.PerDistanceUnicast))
+		for d := range ins.PerDistanceUnicast {
+			depths = append(depths, d)
+		}
+		sort.Ints(depths)
+		for _, d := range depths {
+			r := ins.PerDistanceUnicast[d]
+			fmt.Fprintf(&b, "  depth %2d: mean %.2f (n=%d)\n", d, r.Mean(), r.N())
+		}
+	}
+	if ins.UnicastHist.Count() > 0 {
+		fmt.Fprintf(&b, "unicast latency percentiles: p50=%.1f p90=%.1f p99=%.1f\n",
+			ins.UnicastHist.Percentile(50), ins.UnicastHist.Percentile(90), ins.UnicastHist.Percentile(99))
+	}
+	if ins.MulticastHist.Count() > 0 {
+		fmt.Fprintf(&b, "multicast latency percentiles: p50=%.1f p90=%.1f p99=%.1f\n",
+			ins.MulticastHist.Percentile(50), ins.MulticastHist.Percentile(90), ins.MulticastHist.Percentile(99))
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package wormhole
+
+import (
+	"fmt"
+	"strings"
+
+	"quarc/internal/topology"
+)
+
+// TraceEvent is one step in the life of a traced message: generation, a
+// channel grant or block, and completion. Traces make the wormhole
+// pipeline inspectable — the broadcast example prints one to show the
+// four branches racing.
+type TraceEvent struct {
+	Time    float64
+	Msg     int64
+	Branch  int
+	Kind    TraceKind
+	Channel topology.ChannelID
+}
+
+// TraceKind labels trace events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceGenerate TraceKind = iota
+	TraceGrant
+	TraceBlocked
+	TraceComplete
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceGenerate:
+		return "generate"
+	case TraceGrant:
+		return "grant"
+	case TraceBlocked:
+		return "blocked"
+	case TraceComplete:
+		return "complete"
+	}
+	return "?"
+}
+
+// FormatTrace renders trace events with channel names resolved against the
+// graph.
+func FormatTrace(g *topology.Graph, events []TraceEvent) string {
+	var b strings.Builder
+	for _, e := range events {
+		ch := ""
+		if e.Kind == TraceGrant || e.Kind == TraceBlocked {
+			ch = " " + g.Channel(e.Channel).String()
+		}
+		fmt.Fprintf(&b, "t=%9.2f msg=%d branch=%d %-9s%s\n", e.Time, e.Msg, e.Branch, e.Kind, ch)
+	}
+	return b.String()
+}
+
+// LeakCheck verifies that the network is empty: no channel held, no worm
+// queued. Valid after a drained run at sub-saturation load; a non-nil
+// error indicates a simulator bug (a leaked channel hold) or an
+// incomplete drain.
+func (nw *Network) LeakCheck() error {
+	for i := range nw.channels {
+		c := &nw.channels[i]
+		if c.holder != nil {
+			return fmt.Errorf("wormhole: channel %v still held after drain",
+				nw.g.Channel(topology.ChannelID(i)))
+		}
+		if len(c.queue) != 0 {
+			return fmt.Errorf("wormhole: channel %v still has %d queued worms after drain",
+				nw.g.Channel(topology.ChannelID(i)), len(c.queue))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,471 @@
+// Package wormhole is a discrete-event simulator of wormhole-switched
+// direct networks with multi-port routers. It replaces the OMNET++
+// flit-level simulator the paper used for validation.
+//
+// # Fidelity
+//
+// The simulator works at worm granularity but is event-equivalent to a
+// flit-level simulation of wormhole switching with single-flit channel
+// buffers and non-preemptive FIFO arbitration:
+//
+//   - A worm's header acquires the channels of its path one by one; a busy
+//     channel queues the worm FIFO, exactly like the paper's router that
+//     records blocked messages and serves them in FIFO order when the
+//     resource is released.
+//   - All flits of a worm advance in lock-step with the header, so the
+//     tail vacates the channel at path index j-msgLen+1 in the same cycle
+//     the header is granted index j (worms stretched over short messages),
+//     and once the header is granted the ejection channel at time te the
+//     remaining flits drain at one per cycle: the channel k positions
+//     before the ejection is released at te + msgLen − k. Because the
+//     whole message is buffered at the source, these release times are
+//     exact for any message length (see Network.grant).
+//
+// Multicast streams follow the Quarc absorb-and-forward semantics: one
+// independent worm per injection port (no synchronization between ports),
+// intermediate targets clone the flits at the ingress multiplexer without
+// extra arbitration, and the branch terminates at its last target. The
+// multicast message latency is the absorption time of the last flit at the
+// last destination over all branches, matching the paper's definition.
+package wormhole
+
+import (
+	"fmt"
+	"math"
+
+	"quarc/internal/routing"
+	"quarc/internal/sim"
+	"quarc/internal/stats"
+	"quarc/internal/topology"
+)
+
+// Traffic supplies the workload: interarrival gaps and message routes.
+// Implementations own their RNG so runs are reproducible for a fixed seed.
+type Traffic interface {
+	// Interarrival returns the gap (in cycles) until node generates its
+	// next message. Returning +Inf disables generation at the node.
+	Interarrival(node topology.NodeID) float64
+	// Next returns the branches of the next message generated at node and
+	// whether the message is a multicast. A unicast is a single branch
+	// whose only target is its destination.
+	Next(node topology.NodeID) ([]routing.Branch, bool)
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// MsgLen is the message length in flits (at least 2). The paper
+	// assumes messages longer than the network diameter; the simulator
+	// also handles shorter worms exactly.
+	MsgLen int
+	// Warmup is the number of cycles simulated before statistics are
+	// collected.
+	Warmup float64
+	// Measure is the number of cycles in the measurement window.
+	Measure float64
+	// SatQueue is the per-injection-channel backlog at which the run is
+	// declared saturated and stopped early (default 1000).
+	SatQueue int
+	// Detail enables fine-grained instrumentation (per-port and
+	// per-distance latency breakdowns, histograms, per-channel rates).
+	Detail bool
+	// Drain lets messages generated inside the measurement window finish
+	// after the window closes (generation stops, the network empties, up
+	// to one extra window of simulated time). This removes the censoring
+	// bias against long-latency messages near the window end.
+	Drain bool
+	// TraceNode selects the node whose messages are traced when
+	// TraceEnabled is set.
+	TraceNode topology.NodeID
+	// TraceEnabled turns on per-event tracing of TraceNode's messages.
+	TraceEnabled bool
+	// TraceLimit caps the number of recorded events (default 10000).
+	TraceLimit int
+	// MulticastPriority changes channel arbitration from pure FIFO to
+	// multicast-first: when a channel is released, waiting multicast
+	// worms are granted before unicast worms (FIFO within each class).
+	// This reproduces the priority-on-arbitration idea of
+	// connection-oriented NoC multicast (the paper's reference [4]); the
+	// paper's own validation uses pure FIFO, the default.
+	MulticastPriority bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Unicast and Multicast hold the latency estimators over messages
+	// that completed inside the measurement window.
+	Unicast   stats.Running
+	Multicast stats.Running
+	// UnicastBM and MulticastBM provide batch-means confidence intervals.
+	UnicastBM   *stats.BatchMeans
+	MulticastBM *stats.BatchMeans
+	// Generated and Completed count messages in the measurement window.
+	Generated int64
+	Completed int64
+	// Saturated is set when an injection backlog exceeded Config.SatQueue
+	// or fewer than 90% of generated messages completed.
+	Saturated bool
+	// Time is the simulated time at the end of the run.
+	Time float64
+	// Events is the number of discrete events executed.
+	Events uint64
+	// MaxUtil is the highest channel utilization observed during the
+	// measurement window.
+	MaxUtil float64
+	// Detail holds the fine-grained measurements; nil unless
+	// Config.Detail was set.
+	Detail *Instrumentation
+	// Trace holds the traced events; empty unless Config.TraceEnabled.
+	Trace []TraceEvent
+}
+
+type channel struct {
+	holder    *worm
+	queue     []*worm
+	grantTime float64
+	busy      float64
+	grants    int64
+}
+
+type message struct {
+	id        int64
+	gen       float64
+	multicast bool
+	pending   int
+	lastDone  float64
+	measured  bool
+	traced    bool
+	// port and depth describe a unicast's route for the per-port and
+	// per-distance breakdowns (unused for multicasts).
+	port  int
+	depth int
+}
+
+type worm struct {
+	msg    *message
+	branch int
+	path   routing.Path
+	hop    int // index of the next channel to acquire
+}
+
+// Network is one simulation instance. Create with New, run with Run.
+type Network struct {
+	g               *topology.Graph
+	traffic         Traffic
+	cfg             Config
+	eng             *sim.Engine
+	channels        []channel
+	res             Result
+	measuring       bool
+	measureStart    float64
+	windowEnd       float64
+	stopped         bool
+	draining        bool
+	pendingMeasured int64
+	nextMsgID       int64
+}
+
+// trace appends a trace event if tracing is active and under the cap.
+func (nw *Network) trace(msg *message, branch int, kind TraceKind, ch topology.ChannelID, t float64) {
+	if !msg.traced {
+		return
+	}
+	limit := nw.cfg.TraceLimit
+	if limit <= 0 {
+		limit = 10000
+	}
+	if len(nw.res.Trace) >= limit {
+		return
+	}
+	nw.res.Trace = append(nw.res.Trace, TraceEvent{
+		Time: t, Msg: msg.id, Branch: branch, Kind: kind, Channel: ch,
+	})
+}
+
+// New creates a simulator over the given channel graph and traffic source.
+func New(g *topology.Graph, traffic Traffic, cfg Config) (*Network, error) {
+	if cfg.MsgLen < 2 {
+		return nil, fmt.Errorf("wormhole: message length %d too short", cfg.MsgLen)
+	}
+	if cfg.Warmup < 0 || cfg.Measure <= 0 {
+		return nil, fmt.Errorf("wormhole: invalid warmup/measure %v/%v", cfg.Warmup, cfg.Measure)
+	}
+	if cfg.SatQueue <= 0 {
+		cfg.SatQueue = 1000
+	}
+	return &Network{
+		g:        g,
+		traffic:  traffic,
+		cfg:      cfg,
+		eng:      sim.New(),
+		channels: make([]channel, g.NumChannels()),
+	}, nil
+}
+
+// Run executes the simulation: Warmup cycles without statistics, then
+// Measure cycles with statistics (plus an optional drain phase), and
+// returns the result.
+func (nw *Network) Run() Result {
+	nw.res.UnicastBM = stats.NewBatchMeans(200)
+	nw.res.MulticastBM = stats.NewBatchMeans(50)
+	if nw.cfg.Detail {
+		nw.res.Detail = newInstrumentation(nw.cfg.MsgLen)
+	}
+	for node := 0; node < nw.g.Nodes(); node++ {
+		nw.scheduleGeneration(topology.NodeID(node), 0)
+	}
+	horizon := nw.cfg.Warmup + nw.cfg.Measure
+	nw.windowEnd = horizon
+	nw.eng.Run(nw.cfg.Warmup)
+	nw.beginMeasurement()
+	if !nw.stopped {
+		nw.eng.Run(horizon)
+	}
+	if nw.cfg.Drain && !nw.stopped {
+		// Stop generating and let in-flight measured messages complete,
+		// capped at one extra measurement window.
+		nw.draining = true
+		if nw.pendingMeasured > 0 {
+			nw.eng.Run(horizon + nw.cfg.Measure)
+		}
+	}
+	nw.finish()
+	return nw.res
+}
+
+func (nw *Network) beginMeasurement() {
+	nw.measuring = true
+	nw.measureStart = nw.eng.Now()
+	for i := range nw.channels {
+		c := &nw.channels[i]
+		c.busy = 0
+		c.grants = 0
+		if c.holder != nil {
+			c.grantTime = nw.measureStart // count only in-window occupancy
+		}
+	}
+}
+
+// busySpan clamps a holding interval to the measurement window.
+func (nw *Network) busySpan(grant, release float64) float64 {
+	lo := math.Max(grant, nw.measureStart)
+	hi := math.Min(release, nw.windowEnd)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func (nw *Network) finish() {
+	nw.res.Time = nw.eng.Now()
+	nw.res.Events = nw.eng.Fired()
+	window := math.Min(nw.res.Time, nw.windowEnd) - nw.measureStart
+	if window <= 0 {
+		window = 1
+	}
+	for i := range nw.channels {
+		c := &nw.channels[i]
+		busy := c.busy
+		if c.holder != nil {
+			busy += nw.busySpan(c.grantTime, nw.res.Time)
+		}
+		if u := busy / window; u > nw.res.MaxUtil {
+			nw.res.MaxUtil = u
+		}
+		if nw.res.Detail != nil {
+			cs := ChannelStats{ID: topology.ChannelID(i), Grants: c.grants}
+			cs.Rate = float64(c.grants) / window
+			cs.Utilization = busy / window
+			if c.grants > 0 {
+				cs.MeanHold = busy / float64(c.grants)
+			} else {
+				cs.MeanHold = math.NaN()
+			}
+			nw.res.Detail.Channels = append(nw.res.Detail.Channels, cs)
+		}
+	}
+	if nw.res.Generated > 0 && float64(nw.res.Completed) < 0.9*float64(nw.res.Generated) {
+		nw.res.Saturated = true
+	}
+}
+
+func (nw *Network) scheduleGeneration(node topology.NodeID, from float64) {
+	gap := nw.traffic.Interarrival(node)
+	if math.IsInf(gap, 1) {
+		return
+	}
+	if gap < 0 || math.IsNaN(gap) {
+		panic("wormhole: negative or NaN interarrival gap")
+	}
+	nw.eng.At(from+gap, func(e *sim.Engine) {
+		if nw.draining {
+			return
+		}
+		nw.generate(node, e.Now())
+		nw.scheduleGeneration(node, e.Now())
+	})
+}
+
+func (nw *Network) generate(node topology.NodeID, t float64) {
+	if nw.stopped {
+		return
+	}
+	branches, multicast := nw.traffic.Next(node)
+	if len(branches) == 0 {
+		return
+	}
+	// Generation exactly at the window boundary belongs to the window.
+	measured := nw.measuring && t <= nw.windowEnd
+	nw.nextMsgID++
+	msg := &message{
+		id: nw.nextMsgID, gen: t, multicast: multicast,
+		pending: len(branches), measured: measured,
+		traced: nw.cfg.TraceEnabled && node == nw.cfg.TraceNode,
+	}
+	if !multicast {
+		msg.port = branches[0].Port
+		msg.depth = len(branches[0].Path) - 1
+	}
+	if measured {
+		nw.res.Generated++
+		nw.pendingMeasured++
+	}
+	nw.trace(msg, -1, TraceGenerate, topology.None, t)
+	for i := range branches {
+		w := &worm{msg: msg, branch: i, path: branches[i].Path}
+		nw.request(w, t)
+	}
+}
+
+// request asks for the worm's next channel at time t.
+func (nw *Network) request(w *worm, t float64) {
+	id := w.path[w.hop]
+	c := &nw.channels[id]
+	if c.holder == nil {
+		nw.grant(w, id, t)
+		return
+	}
+	nw.trace(w.msg, w.branch, TraceBlocked, id, t)
+	c.queue = append(c.queue, w)
+	if nw.g.Channel(id).Kind == topology.Injection && len(c.queue) > nw.cfg.SatQueue {
+		nw.res.Saturated = true
+		nw.stopped = true
+		nw.eng.Stop()
+	}
+}
+
+// grant gives channel id to worm w at time t. The header crosses the
+// channel during [t, t+1).
+//
+// Release timing: with single-flit channel buffers a worm of msgLen flits
+// spans at most msgLen channels, and all its flits advance in lock-step
+// with the header. So when the header is granted the channel at path index
+// j, the tail simultaneously vacates the channel at index j-msgLen+1,
+// which is free for the next worm one cycle later. Once the header is
+// granted the ejection channel at time te, the remaining flits drain at
+// one per cycle and the channel k positions before the ejection is freed
+// at te + msgLen - k. The first rule covers worms stretched over short
+// messages (msgLen < path length); the second covers the paper's usual
+// regime of messages longer than the network diameter.
+func (nw *Network) grant(w *worm, id topology.ChannelID, t float64) {
+	c := &nw.channels[id]
+	c.holder = w
+	c.grantTime = t
+	if nw.measuring && t <= nw.windowEnd {
+		c.grants++
+	}
+	nw.trace(w.msg, w.branch, TraceGrant, id, t)
+	j := w.hop // index of the channel just granted
+	w.hop++
+	msgLen := nw.cfg.MsgLen
+	if i := j - msgLen + 1; i >= 0 && j < len(w.path)-1 {
+		// The tail crossed path[i] in this cycle; free it next cycle.
+		cid := w.path[i]
+		nw.eng.At(t+1, func(e *sim.Engine) { nw.release(cid, e.Now()) })
+	}
+	if w.hop == len(w.path) {
+		// The header was granted the ejection channel: the message's last
+		// flit is absorbed at t + msgLen. Drain the channels the worm
+		// still occupies (at most the last msgLen of the path).
+		te := t
+		lo := len(w.path) - msgLen
+		if lo < 0 {
+			lo = 0
+		}
+		for i := lo; i < len(w.path); i++ {
+			k := float64(len(w.path) - 1 - i)
+			cid := w.path[i]
+			nw.eng.At(te+float64(msgLen)-k, func(e *sim.Engine) { nw.release(cid, e.Now()) })
+		}
+		done := te + float64(msgLen)
+		msg := w.msg
+		branch := w.branch
+		nw.eng.At(done, func(e *sim.Engine) {
+			nw.trace(msg, branch, TraceComplete, topology.None, e.Now())
+			nw.complete(msg, e.Now())
+		})
+		return
+	}
+	nw.eng.At(t+1, func(e *sim.Engine) { nw.request(w, e.Now()) })
+}
+
+func (nw *Network) release(id topology.ChannelID, t float64) {
+	c := &nw.channels[id]
+	if c.holder == nil {
+		panic("wormhole: releasing a free channel")
+	}
+	if nw.measuring {
+		c.busy += nw.busySpan(c.grantTime, t)
+	}
+	c.holder = nil
+	if len(c.queue) > 0 && !nw.stopped {
+		next := 0
+		if nw.cfg.MulticastPriority {
+			// Multicast worms win arbitration; FIFO within each class.
+			for i, w := range c.queue {
+				if w.msg.multicast {
+					next = i
+					break
+				}
+			}
+		}
+		w := c.queue[next]
+		copy(c.queue[next:], c.queue[next+1:])
+		c.queue = c.queue[:len(c.queue)-1]
+		nw.grant(w, id, t)
+	}
+}
+
+func (nw *Network) complete(msg *message, t float64) {
+	msg.pending--
+	if t > msg.lastDone {
+		msg.lastDone = t
+	}
+	if msg.pending > 0 {
+		return
+	}
+	if !nw.measuring || !msg.measured {
+		return
+	}
+	nw.res.Completed++
+	nw.pendingMeasured--
+	lat := msg.lastDone - msg.gen
+	if msg.multicast {
+		nw.res.Multicast.Add(lat)
+		nw.res.MulticastBM.Add(lat)
+		if nw.res.Detail != nil {
+			nw.res.Detail.MulticastHist.Add(lat)
+		}
+	} else {
+		nw.res.Unicast.Add(lat)
+		nw.res.UnicastBM.Add(lat)
+		if nw.res.Detail != nil {
+			nw.res.Detail.recordUnicast(msg.port, msg.depth, lat)
+		}
+	}
+	if nw.draining && nw.pendingMeasured <= 0 {
+		nw.eng.Stop()
+	}
+}
+
+// Engine exposes the underlying event engine (used by tests).
+func (nw *Network) Engine() *sim.Engine { return nw.eng }

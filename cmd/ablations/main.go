@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"log"
 
-	"quarc/internal/experiments"
+	"quarc/noc"
 )
 
 func main() {
@@ -33,54 +33,55 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter simulations")
 	flag.Parse()
 
-	cfg := experiments.DefaultSimConfig()
+	effort := noc.DefaultEffort()
 	if *quick {
-		cfg = experiments.QuickSimConfig()
+		effort = noc.QuickEffort()
 	}
+	opts := []noc.Option{noc.SimEffort(effort)}
 
 	run := func(name string) bool { return *which == "all" || *which == name }
 
 	if run("oneport") {
 		fmt.Printf("== all-port vs one-port Quarc (N=%d, M=%d, alpha=%.0f%% broadcast) ==\n",
 			*n, *msg, *alpha*100)
-		series, err := experiments.OnePortAblation(*n, *msg, *alpha,
-			[]float64{0.001, 0.002, 0.004}, cfg)
+		series, err := noc.OnePortAblation(*n, *msg, *alpha,
+			[]float64{0.001, 0.002, 0.004}, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(experiments.SeriesTable(series))
+		fmt.Print(noc.SeriesTable(series))
 		fmt.Println()
 	}
 
 	if run("spidergon") {
 		fmt.Printf("== Quarc broadcast vs Spidergon broadcast-by-unicast (N=%d, M=%d) ==\n", *n, *msg)
-		series, err := experiments.SpidergonComparison(*n, *msg, *alpha,
-			[]float64{0.0005, 0.001}, cfg)
+		series, err := noc.SpidergonComparison(*n, *msg, *alpha,
+			[]float64{0.0005, 0.001}, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(experiments.SeriesTable(series))
+		fmt.Print(noc.SeriesTable(series))
 		fmt.Println()
 	}
 
 	if run("service") {
 		fmt.Printf("== Eq. 6 vs tail-release service recurrence (N=%d, M=%d, unicast) ==\n", *n, *msg)
-		points, err := experiments.ServiceFormulaAblation(*n, *msg,
-			[]float64{0.002, 0.004, 0.006, 0.008}, cfg)
+		points, err := noc.ServiceFormulaAblation(*n, *msg,
+			[]float64{0.002, 0.004, 0.006, 0.008}, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(experiments.ServiceTable(points))
+		fmt.Print(noc.ServiceTable(points))
 		fmt.Println()
 	}
 
 	if run("mesh") {
 		fmt.Println("== model validity on mesh and torus (4x4, M=16) ==")
-		series, err := experiments.MeshExtension(4, 4, 16, *alpha,
-			[]float64{0.002, 0.004, 0.008}, cfg)
+		series, err := noc.MeshExtension(4, 4, 16, *alpha,
+			[]float64{0.002, 0.004, 0.008}, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(experiments.SeriesTable(series))
+		fmt.Print(noc.SeriesTable(series))
 	}
 }

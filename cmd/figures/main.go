@@ -21,9 +21,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"quarc/internal/experiments"
-	"quarc/internal/routing"
-	"quarc/internal/topology"
+	"quarc/noc"
 )
 
 func main() {
@@ -40,13 +38,13 @@ func main() {
 	flag.Parse()
 
 	if *sat {
-		rows, err := experiments.SaturationStudy(
+		rows, err := noc.SaturationStudy(
 			[]int{16, 32, 64, 128}, []int{16, 32, 48, 64}, []float64{0, 0.03, 0.05, 0.10}, 4)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("model saturation rate by configuration (localized multicast set):")
-		fmt.Print(experiments.SatTable(rows))
+		fmt.Print(noc.SatTable(rows))
 		return
 	}
 
@@ -55,18 +53,18 @@ func main() {
 		return
 	}
 
-	cfg := experiments.DefaultSimConfig()
+	effort := noc.DefaultEffort()
 	if *quick {
-		cfg = experiments.QuickSimConfig()
+		effort = noc.QuickEffort()
 	}
 
-	panels := experiments.AllPanels()
+	panels := noc.FigurePanels()
 	if *panel != "" {
-		p, err := experiments.PanelByID(*panel)
+		p, err := noc.PanelByID(*panel)
 		if err != nil {
 			log.Fatal(err)
 		}
-		panels = []experiments.Panel{p}
+		panels = []noc.Panel{p}
 	}
 
 	for i := range panels {
@@ -76,23 +74,23 @@ func main() {
 		fmt.Printf("running %s (N=%d, M=%d flits, alpha=%.0f%%)...\n",
 			panels[i].ID, panels[i].N, panels[i].MsgLen, panels[i].Alpha*100)
 	}
-	results, err := experiments.RunPanels(panels, cfg, *parallel)
+	results, err := noc.RunFigurePanels(panels, effort, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, res := range results {
-		fmt.Print(experiments.AsciiPlot(res, 72, 18))
+		fmt.Print(res.AsciiPlot(72, 18))
 		fmt.Println()
 		if *out != "" {
 			if err := os.MkdirAll(*out, 0o755); err != nil {
 				log.Fatal(err)
 			}
-			path := filepath.Join(*out, res.Panel.ID+".csv")
+			path := filepath.Join(*out, res.Panel().ID+".csv")
 			f, err := os.Create(path)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := experiments.WriteCSV(f, res); err != nil {
+			if err := res.WriteCSV(f); err != nil {
 				log.Fatal(err)
 			}
 			if err := f.Close(); err != nil {
@@ -107,7 +105,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := experiments.WriteJSON(f, results); err != nil {
+		if err := noc.WriteFiguresJSON(f, results); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -116,18 +114,17 @@ func main() {
 		fmt.Printf("wrote %s\n\n", path)
 	}
 	fmt.Println("model-vs-simulation agreement (relative error over stable points):")
-	fmt.Print(experiments.SummaryTable(results))
+	fmt.Print(noc.FiguresSummary(results))
 }
 
 // printStructuralFigures renders the paper's structural figures as ASCII:
 // the Quarc topology (Fig. 2a) and the broadcast pattern from node 0 in a
 // 16-node network (Fig. 3).
 func printStructuralFigures() {
-	q, err := topology.NewQuarc(16)
+	s, err := noc.NewScenario(noc.Quarc(16), noc.Alpha(1), noc.Broadcast())
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt := routing.NewQuarcRouter(q)
 
 	fmt.Println("Fig. 2a — Quarc topology, N=16 (rim links + doubled cross links):")
 	fmt.Println()
@@ -144,21 +141,17 @@ func printStructuralFigures() {
 
 	fmt.Println("Fig. 3 — broadcast from node 0 (branch endpoints 4, 5, 11, 12):")
 	fmt.Println()
-	branches, err := rt.MulticastBranches(0, rt.BroadcastSet())
+	branches, err := s.Branches(0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, b := range branches {
-		var walk []string
-		cur := topology.NodeID(0)
-		walk = append(walk, "0")
-		for _, id := range b.Path[1 : len(b.Path)-1] {
-			c := rt.Graph().Channel(id)
-			cur = c.Dst
-			walk = append(walk, fmt.Sprint(cur))
+		walk := []string{"0"}
+		for _, node := range b.Walk {
+			walk = append(walk, fmt.Sprint(node))
 		}
 		fmt.Printf("  port %-2s: %s  (receivers %v)\n",
-			topology.QuarcPortName(b.Port), strings.Join(walk, " -> "), b.Targets)
+			b.PortName, strings.Join(walk, " -> "), b.Targets)
 	}
 	fmt.Println()
 	fmt.Println("Every node other than the source is covered exactly once; each branch")

@@ -10,12 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand/v2"
 
-	"quarc/internal/core"
-	"quarc/internal/routing"
-	"quarc/internal/topology"
-	"quarc/internal/traffic"
+	"quarc/noc"
 )
 
 func main() {
@@ -33,63 +29,47 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-port branch details")
 	flag.Parse()
 
-	q, err := topology.NewQuarc(*n)
-	if err != nil {
-		log.Fatal(err)
+	opts := []noc.Option{
+		noc.Quarc(*n), noc.MsgLen(*msg), noc.Rate(*rate), noc.Alpha(*alpha),
+		noc.Detail(*verbose),
 	}
-	rt := routing.NewQuarcRouter(q)
-
-	var set routing.MulticastSet
 	switch {
 	case *alpha == 0:
-		set = routing.NewMulticastSet(topology.QuarcPorts)
+		// no destination set needed
 	case *broadcast:
-		set = rt.BroadcastSet()
+		opts = append(opts, noc.Broadcast())
 	case *random:
-		set, err = rt.RandomSet(rand.New(rand.NewPCG(*seed, 0)), *dests)
+		opts = append(opts, noc.RandomDests(*dests, *seed))
 	default:
-		set, err = rt.LocalizedSet(topology.PortL, *dests)
+		opts = append(opts, noc.LocalizedDests(noc.PortL, *dests))
 	}
+	s, err := noc.NewScenario(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	in := core.Input{
-		Router: rt,
-		Spec:   traffic.Spec{Rate: *rate, MulticastFrac: *alpha, Set: set},
-		MsgLen: *msg,
-	}
-	m, err := core.NewModel(in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pred, err := m.Solve()
+	pred, err := noc.Model{}.Evaluate(s)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("configuration: N=%d msg=%d flits rate=%g alpha=%g set={%s}\n",
-		*n, *msg, *rate, *alpha, set)
+		*n, *msg, *rate, *alpha, s.SetString())
 	fmt.Printf("fixed point:   iterations=%d converged=%v max channel utilization=%.4f\n",
 		pred.Iterations, pred.Converged, pred.MaxRho)
 	if pred.Saturated {
 		fmt.Println("result:        SATURATED — the configuration is outside the model's stability region")
 		return
 	}
-	fmt.Printf("unicast:       average latency %.3f cycles\n", pred.UnicastLatency)
+	fmt.Printf("unicast:       average latency %.3f cycles\n", pred.Unicast)
 	if *alpha > 0 {
-		fmt.Printf("multicast:     average latency %.3f cycles\n", pred.MulticastLatency)
+		fmt.Printf("multicast:     average latency %.3f cycles\n", pred.Multicast)
 	}
 	if *verbose && *alpha > 0 {
-		branches, err := rt.MulticastBranches(0, set)
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Println("branches from node 0:")
-		for _, b := range branches {
-			wait := m.PathWait(b.Path)
+		for _, b := range pred.Branches {
 			fmt.Printf("  port %-2s  hops=%-3d targets=%v  expected path wait=%.3f cycles\n",
-				topology.QuarcPortName(b.Port), len(b.Path)-1, b.Targets, wait)
+				b.PortName, b.Hops, b.Targets, b.Wait)
 		}
 	}
 }

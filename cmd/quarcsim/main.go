@@ -11,14 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand/v2"
 
-	"quarc/internal/core"
-	"quarc/internal/routing"
-	"quarc/internal/stats"
-	"quarc/internal/topology"
-	"quarc/internal/traffic"
-	"quarc/internal/wormhole"
+	"quarc/noc"
 )
 
 func main() {
@@ -43,48 +37,36 @@ func main() {
 	priority := flag.Bool("mc-priority", false, "multicast-first channel arbitration (default FIFO, as in the paper)")
 	flag.Parse()
 
-	q, err := topology.NewQuarc(*n)
-	if err != nil {
-		log.Fatal(err)
+	opts := []noc.Option{
+		noc.Quarc(*n), noc.MsgLen(*msg), noc.Rate(*rate), noc.Alpha(*alpha),
+		noc.Seed(*seed), noc.Warmup(*warmup), noc.Measure(*measure),
+		noc.Detail(*detail), noc.MulticastPriority(*priority),
 	}
-	rt := routing.NewQuarcRouter(q)
-
-	var set routing.MulticastSet
 	switch {
 	case *alpha == 0:
-		set = routing.NewMulticastSet(topology.QuarcPorts)
+		// no destination set needed
 	case *broadcast:
-		set = rt.BroadcastSet()
+		opts = append(opts, noc.Broadcast())
 	case *random:
-		set, err = rt.RandomSet(rand.New(rand.NewPCG(*setSeed, 0)), *dests)
+		opts = append(opts, noc.RandomDests(*dests, *setSeed))
 	default:
-		set, err = rt.LocalizedSet(topology.PortL, *dests)
+		opts = append(opts, noc.LocalizedDests(noc.PortL, *dests))
 	}
+	if *trace >= 0 {
+		opts = append(opts, noc.Trace(*trace, *traceLimit))
+	}
+	s, err := noc.NewScenario(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	spec := traffic.Spec{Rate: *rate, MulticastFrac: *alpha, Set: set}
-	w, err := traffic.NewWorkload(rt, spec, *seed)
+	res, err := noc.Simulator{}.Evaluate(s)
 	if err != nil {
 		log.Fatal(err)
 	}
-	nw, err := wormhole.New(rt.Graph(), w, wormhole.Config{
-		MsgLen:            *msg,
-		Warmup:            *warmup,
-		Measure:           *measure,
-		Detail:            *detail,
-		TraceEnabled:      *trace >= 0,
-		TraceNode:         topology.NodeID(max(*trace, 0)),
-		TraceLimit:        *traceLimit,
-		MulticastPriority: *priority,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	res := nw.Run()
 
-	fmt.Printf("configuration: N=%d msg=%d flits rate=%g alpha=%g set={%s}\n", *n, *msg, *rate, *alpha, set)
+	fmt.Printf("configuration: N=%d msg=%d flits rate=%g alpha=%g set={%s}\n",
+		*n, *msg, *rate, *alpha, s.SetString())
 	fmt.Printf("simulated:     %.0f cycles, %d events, %d/%d messages completed/generated\n",
 		res.Time, res.Events, res.Completed, res.Generated)
 	if res.Saturated {
@@ -92,22 +74,22 @@ func main() {
 		return
 	}
 	fmt.Printf("unicast:       %.3f ± %.3f cycles (95%% CI, %d messages)\n",
-		res.Unicast.Mean(), res.UnicastBM.HalfWidth(1.96), res.Unicast.N())
-	if *alpha > 0 && res.Multicast.N() > 0 {
+		res.Unicast, res.UnicastCI, res.UnicastN)
+	if *alpha > 0 && res.MulticastN > 0 {
 		fmt.Printf("multicast:     %.3f ± %.3f cycles (95%% CI, %d messages)\n",
-			res.Multicast.Mean(), res.MulticastBM.HalfWidth(1.96), res.Multicast.N())
+			res.Multicast, res.MulticastCI, res.MulticastN)
 	}
 	fmt.Printf("peak channel utilization: %.4f\n", res.MaxUtil)
-	if *detail && res.Detail != nil {
-		fmt.Print(res.Detail.Summary())
+	if *detail && res.DetailSummary != "" {
+		fmt.Print(res.DetailSummary)
 	}
-	if len(res.Trace) > 0 {
+	if res.TraceText != "" {
 		fmt.Printf("trace of node %d's messages:\n", *trace)
-		fmt.Print(wormhole.FormatTrace(rt.Graph(), res.Trace))
+		fmt.Print(res.TraceText)
 	}
 
 	if *compare {
-		pred, err := core.Predict(core.Input{Router: rt, Spec: spec, MsgLen: *msg})
+		pred, err := noc.Model{}.Evaluate(s)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,10 +98,10 @@ func main() {
 			return
 		}
 		fmt.Printf("model:         unicast %.3f cycles (rel err %.2f%%)",
-			pred.UnicastLatency, 100*stats.RelErr(pred.UnicastLatency, res.Unicast.Mean()))
+			pred.Unicast, 100*noc.RelErr(pred.Unicast, res.Unicast))
 		if *alpha > 0 {
 			fmt.Printf(", multicast %.3f cycles (rel err %.2f%%)",
-				pred.MulticastLatency, 100*stats.RelErr(pred.MulticastLatency, res.Multicast.Mean()))
+				pred.Multicast, 100*noc.RelErr(pred.Multicast, res.Multicast))
 		}
 		fmt.Println()
 	}

@@ -4,7 +4,17 @@
 // wormhole-routed networks with asynchronous multi-port routers, validated
 // on the Quarc NoC against a discrete-event simulator.
 //
-// The library lives under internal/:
+// The public entry point is the noc package: a declarative Scenario built
+// from functional options drives both engines through a common Evaluator
+// interface, and string-keyed registries of topologies, routers and
+// traffic patterns keep new scenarios declarative:
+//
+//	s, _ := noc.NewScenario(noc.Quarc(64), noc.MsgLen(32),
+//		noc.Rate(0.001), noc.Alpha(0.05), noc.RandomDests(8, 1))
+//	pred, _ := noc.Model{}.Evaluate(s)
+//	meas, _ := noc.Simulator{}.Evaluate(s)
+//
+// The engines live under internal/:
 //
 //   - internal/core — the analytical model (M/G/1 channel queues, wormhole
 //     service-time fixed point, max-of-exponentials multicast combination)
@@ -17,8 +27,9 @@
 //   - internal/experiments — regeneration of the paper's Figures 6 and 7
 //     plus the ablation studies
 //
-// Command-line entry points are cmd/quarcmodel, cmd/quarcsim and
-// cmd/figures; runnable walk-throughs live in examples/. The benchmarks in
-// bench_test.go regenerate one figure panel or ablation each; see
-// EXPERIMENTS.md for recorded paper-vs-measured results.
+// Command-line entry points are cmd/quarcmodel, cmd/quarcsim, cmd/figures
+// and cmd/ablations; runnable walk-throughs live in examples/. All of them
+// consume only the noc package. The benchmarks in noc regenerate one
+// figure panel or ablation each; see EXPERIMENTS.md for recorded
+// paper-vs-measured results and DESIGN.md for the formula notes.
 package quarc

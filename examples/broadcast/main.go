@@ -16,31 +16,25 @@ import (
 	"fmt"
 	"log"
 
-	"quarc/internal/core"
-	"quarc/internal/routing"
-	"quarc/internal/topology"
-	"quarc/internal/traffic"
-	"quarc/internal/wormhole"
+	"quarc/noc"
 )
 
 func main() {
 	log.SetFlags(0)
 
 	// Part 1: the Fig. 3 walk — who receives what, on which branch.
-	q, err := topology.NewQuarc(16)
+	s16, err := noc.NewScenario(noc.Quarc(16), noc.Alpha(1), noc.Broadcast())
 	if err != nil {
 		log.Fatal(err)
 	}
-	router := routing.NewQuarcRouter(q)
-	branches, err := router.MulticastBranches(0, router.BroadcastSet())
+	branches, err := s16.Branches(0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Broadcast from node 0 in a 16-node Quarc (paper Fig. 3):")
 	for _, b := range branches {
 		fmt.Printf("  port %-2s covers %v, ends at node %v (%d header hops)\n",
-			topology.QuarcPortName(b.Port), b.Targets,
-			b.Targets[len(b.Targets)-1], len(b.Path)-1)
+			b.PortName, b.Targets, b.Targets[len(b.Targets)-1], b.Hops)
 	}
 	fmt.Println()
 
@@ -49,21 +43,17 @@ func main() {
 	fmt.Println("Zero-load broadcast latency vs network size (msg = 32 flits):")
 	const msgLen = 32
 	for _, n := range []int{16, 32, 64, 128} {
-		qn, err := topology.NewQuarc(n)
+		sn, err := noc.NewScenario(
+			noc.Quarc(n), noc.MsgLen(msgLen), noc.Rate(1e-9), noc.Alpha(0.5), noc.Broadcast())
 		if err != nil {
 			log.Fatal(err)
 		}
-		rn := routing.NewQuarcRouter(qn)
-		pred, err := core.Predict(core.Input{
-			Router: rn,
-			Spec:   traffic.Spec{Rate: 1e-9, MulticastFrac: 0.5, Set: rn.BroadcastSet()},
-			MsgLen: msgLen,
-		})
+		pred, err := noc.Model{}.Evaluate(sn)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  N=%-4d  %7.2f cycles  (header depth N/4+1 = %d, + %d flits)\n",
-			n, pred.MulticastLatency, n/4+1, msgLen)
+			n, pred.Multicast, n/4+1, msgLen)
 	}
 	fmt.Println()
 
@@ -72,33 +62,31 @@ func main() {
 	fmt.Println("Broadcast storm on N=32, msg=32, rate=0.0008 msgs/cycle/node:")
 	fmt.Printf("  %-8s %14s %14s %14s %14s\n",
 		"alpha", "model uni", "sim uni", "model bcast", "sim bcast")
-	q32, err := topology.NewQuarc(32)
+	storm, err := noc.NewScenario(
+		noc.Quarc(32), noc.MsgLen(msgLen), noc.Rate(0.0008), noc.Broadcast(), noc.Alpha(0.03),
+		noc.Seed(7), noc.Warmup(10000), noc.Measure(120000))
 	if err != nil {
 		log.Fatal(err)
 	}
-	r32 := routing.NewQuarcRouter(q32)
 	for _, alpha := range []float64{0.03, 0.05, 0.10, 0.20} {
-		spec := traffic.Spec{Rate: 0.0008, MulticastFrac: alpha, Set: r32.BroadcastSet()}
-		pred, err := core.Predict(core.Input{Router: r32, Spec: spec, MsgLen: msgLen})
+		at, err := storm.With(noc.Alpha(alpha))
 		if err != nil {
 			log.Fatal(err)
 		}
-		w, err := traffic.NewWorkload(r32, spec, 7)
+		pred, err := noc.Model{}.Evaluate(at)
 		if err != nil {
 			log.Fatal(err)
 		}
-		nw, err := wormhole.New(r32.Graph(), w, wormhole.Config{MsgLen: msgLen, Warmup: 10000, Measure: 120000})
+		meas, err := noc.Simulator{}.Evaluate(at)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := nw.Run()
-		if pred.Saturated || res.Saturated {
+		if pred.Saturated || meas.Saturated {
 			fmt.Printf("  %-8.2f %14s\n", alpha, "saturated")
 			continue
 		}
 		fmt.Printf("  %-8.2f %14.2f %14.2f %14.2f %14.2f\n",
-			alpha, pred.UnicastLatency, res.Unicast.Mean(),
-			pred.MulticastLatency, res.Multicast.Mean())
+			alpha, pred.Unicast, meas.Unicast, pred.Multicast, meas.Multicast)
 	}
 	fmt.Println("\nEach broadcast loads all four quadrants, so raising alpha pushes the")
 	fmt.Println("whole network toward saturation much faster than unicast traffic does.")
@@ -107,25 +95,18 @@ func main() {
 	// asynchronous branches racing — the behaviour the paper's Eq. 12
 	// (expected maximum of independent exponentials) models.
 	fmt.Println("\nTrace of node 0's messages (first broadcast shown, 4 branches):")
-	wTrace, err := traffic.NewWorkload(r32, traffic.Spec{Rate: 0.0008, MulticastFrac: 1, Set: r32.BroadcastSet()}, 11)
+	traced, err := noc.NewScenario(
+		noc.Quarc(32), noc.MsgLen(msgLen), noc.Rate(0.0008), noc.Alpha(1), noc.Broadcast(),
+		noc.Seed(11), noc.Warmup(0), noc.Measure(30000),
+		// A 32-flit broadcast spawns 4 branches; ~24 events cover the
+		// first message's injection, forks, absorptions and completion.
+		noc.Trace(0, 24))
 	if err != nil {
 		log.Fatal(err)
 	}
-	nwTrace, err := wormhole.New(r32.Graph(), wTrace, wormhole.Config{
-		MsgLen: msgLen, Warmup: 0, Measure: 30000,
-		TraceEnabled: true, TraceNode: 0, TraceLimit: 60,
-	})
+	res, err := noc.Simulator{}.Evaluate(traced)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resTrace := nwTrace.Run()
-	// Show only the first traced message.
-	var first []wormhole.TraceEvent
-	for _, e := range resTrace.Trace {
-		if len(first) > 0 && e.Msg != first[0].Msg {
-			break
-		}
-		first = append(first, e)
-	}
-	fmt.Print(wormhole.FormatTrace(r32.Graph(), first))
+	fmt.Print(res.TraceText)
 }

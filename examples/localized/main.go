@@ -15,66 +15,56 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand/v2"
 
-	"quarc/internal/core"
-	"quarc/internal/routing"
-	"quarc/internal/topology"
-	"quarc/internal/traffic"
-	"quarc/internal/wormhole"
+	"quarc/noc"
 )
 
-func run(router *routing.QuarcRouter, set routing.MulticastSet, rate float64, label string) {
-	const msgLen = 32
-	spec := traffic.Spec{Rate: rate, MulticastFrac: 0.05, Set: set}
-	pred, err := core.Predict(core.Input{Router: router, Spec: spec, MsgLen: msgLen})
+func run(s *noc.Scenario, rate float64, label string) {
+	at, err := s.With(noc.Rate(rate))
 	if err != nil {
 		log.Fatal(err)
 	}
-	w, err := traffic.NewWorkload(router, spec, 99)
+	pred, err := noc.Model{}.Evaluate(at)
 	if err != nil {
 		log.Fatal(err)
 	}
-	nw, err := wormhole.New(router.Graph(), w, wormhole.Config{MsgLen: msgLen, Warmup: 10000, Measure: 120000})
+	meas, err := noc.Simulator{}.Evaluate(at)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := nw.Run()
-	if pred.Saturated || res.Saturated {
+	if pred.Saturated || meas.Saturated {
 		fmt.Printf("  %-34s %10s\n", label, "saturated")
 		return
 	}
 	fmt.Printf("  %-34s model %8.2f   sim %8.2f cycles\n",
-		label, pred.MulticastLatency, res.Multicast.Mean())
+		label, pred.Multicast, meas.Multicast)
 }
 
 func main() {
 	log.SetFlags(0)
 
-	q, err := topology.NewQuarc(64)
-	if err != nil {
-		log.Fatal(err)
-	}
-	router := routing.NewQuarcRouter(q)
-
 	const k = 6 // multicast destinations per message
-	localized, err := router.LocalizedSet(topology.PortL, k)
+	base := []noc.Option{
+		noc.Quarc(64), noc.MsgLen(32), noc.Alpha(0.05),
+		noc.Seed(99), noc.Warmup(10000), noc.Measure(120000),
+	}
+	localized, err := noc.NewScenario(append(base, noc.LocalizedDests(noc.PortL, k))...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	random, err := router.RandomSet(rand.New(rand.NewPCG(3, 1)), k)
+	random, err := noc.NewScenario(append(base, noc.RandomDests(k, 3))...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("N=64 Quarc, msg=32 flits, alpha=5%%, %d multicast destinations\n\n", k)
-	fmt.Printf("localized set: %s\n", localized)
-	fmt.Printf("random set:    %s\n\n", random)
+	fmt.Printf("localized set: %s\n", localized.SetString())
+	fmt.Printf("random set:    %s\n\n", random.SetString())
 
 	for _, rate := range []float64{0.0005, 0.001, 0.0015} {
 		fmt.Printf("rate = %g messages/cycle/node:\n", rate)
-		run(router, localized, rate, "localized (one rim, Fig. 7 regime)")
-		run(router, random, rate, "random (all quadrants, Fig. 6 regime)")
+		run(localized, rate, "localized (one rim, Fig. 7 regime)")
+		run(random, rate, "random (all quadrants, Fig. 6 regime)")
 		fmt.Println()
 	}
 

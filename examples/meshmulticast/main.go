@@ -18,50 +18,44 @@ import (
 	"fmt"
 	"log"
 
-	"quarc/internal/core"
-	"quarc/internal/routing"
-	"quarc/internal/stats"
-	"quarc/internal/topology"
-	"quarc/internal/traffic"
-	"quarc/internal/wormhole"
+	"quarc/noc"
 )
 
-func study(label string, m *topology.Mesh, rates []float64) {
-	router := routing.NewMeshRouter(m)
+func study(label string, topo noc.Option, rates []float64) {
 	// Multicast: 3 targets ahead and 2 behind on the Hamilton path.
-	set, err := router.HighLowSet([]int{1, 3, 5}, []int{2, 4})
+	s, err := noc.NewScenario(
+		topo, noc.MsgLen(32), noc.Alpha(0.05),
+		noc.HighLowDests([]int{1, 3, 5}, []int{2, 4}),
+		noc.Seed(31), noc.Warmup(8000), noc.Measure(80000),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	const msgLen = 32
-	fmt.Printf("%s (%d nodes), msg=%d flits, alpha=5%%, dual-path multicast:\n", label, m.Nodes(), msgLen)
+	fmt.Printf("%s (%d nodes), msg=%d flits, alpha=5%%, dual-path multicast:\n",
+		label, s.Nodes(), s.MsgLen())
 	fmt.Printf("  %-10s %11s %11s %8s %11s %11s %8s\n",
 		"rate", "model-uni", "sim-uni", "err", "model-mc", "sim-mc", "err")
 	for _, rate := range rates {
-		spec := traffic.Spec{Rate: rate, MulticastFrac: 0.05, Set: set}
-		pred, err := core.Predict(core.Input{Router: router, Spec: spec, MsgLen: msgLen})
+		at, err := s.With(noc.Rate(rate))
 		if err != nil {
 			log.Fatal(err)
 		}
-		w, err := traffic.NewWorkload(router, spec, 31)
+		pred, err := noc.Model{}.Evaluate(at)
 		if err != nil {
 			log.Fatal(err)
 		}
-		nw, err := wormhole.New(router.Graph(), w, wormhole.Config{MsgLen: msgLen, Warmup: 8000, Measure: 80000})
+		meas, err := noc.Simulator{}.Evaluate(at)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := nw.Run()
-		if pred.Saturated || res.Saturated {
+		if pred.Saturated || meas.Saturated {
 			fmt.Printf("  %-10.5g %11s\n", rate, "saturated")
 			continue
 		}
 		fmt.Printf("  %-10.5g %11.2f %11.2f %7.1f%% %11.2f %11.2f %7.1f%%\n",
 			rate,
-			pred.UnicastLatency, res.Unicast.Mean(),
-			100*stats.RelErr(pred.UnicastLatency, res.Unicast.Mean()),
-			pred.MulticastLatency, res.Multicast.Mean(),
-			100*stats.RelErr(pred.MulticastLatency, res.Multicast.Mean()))
+			pred.Unicast, meas.Unicast, 100*noc.RelErr(pred.Unicast, meas.Unicast),
+			pred.Multicast, meas.Multicast, 100*noc.RelErr(pred.Multicast, meas.Multicast))
 	}
 	fmt.Println()
 }
@@ -69,17 +63,9 @@ func study(label string, m *topology.Mesh, rates []float64) {
 func main() {
 	log.SetFlags(0)
 
-	mesh, err := topology.NewMesh(8, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	study("8x8 mesh", mesh, []float64{0.0005, 0.001, 0.002})
-
-	torus, err := topology.NewTorus(8, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	study("8x8 torus", torus, []float64{0.0005, 0.001, 0.002})
+	rates := []float64{0.0005, 0.001, 0.002}
+	study("8x8 mesh", noc.Mesh(8, 8), rates)
+	study("8x8 torus", noc.Torus(8, 8), rates)
 
 	fmt.Println("The torus's wrap links halve average distance, so at equal rates it")
 	fmt.Println("runs at lower latency and saturates later than the mesh. The model's")

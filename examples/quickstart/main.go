@@ -1,6 +1,6 @@
-// Quickstart: build a Quarc NoC, evaluate the analytical model at one
-// operating point, validate it against the discrete-event simulator, and
-// print both sides.
+// Quickstart: build a Quarc NoC scenario, evaluate the analytical model at
+// one operating point, validate it against the discrete-event simulator,
+// and print both sides.
 //
 // Run with:
 //
@@ -11,65 +11,48 @@ import (
 	"fmt"
 	"log"
 
-	"quarc/internal/core"
-	"quarc/internal/routing"
-	"quarc/internal/stats"
-	"quarc/internal/topology"
-	"quarc/internal/traffic"
-	"quarc/internal/wormhole"
+	"quarc/noc"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	// 1. A 32-node Quarc NoC with its all-port router and BRCP routing.
-	q, err := topology.NewQuarc(32)
-	if err != nil {
-		log.Fatal(err)
-	}
-	router := routing.NewQuarcRouter(q)
-
-	// 2. A workload: Poisson sources at 0.002 messages/cycle/node, 5% of
-	// messages multicast to four nodes on the left rim, the rest unicast
-	// to uniformly random destinations. Messages are 32 flits.
-	set, err := router.LocalizedSet(topology.PortL, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	spec := traffic.Spec{Rate: 0.002, MulticastFrac: 0.05, Set: set}
-	const msgLen = 32
-
-	// 3. The paper's analytical model.
-	pred, err := core.Predict(core.Input{Router: router, Spec: spec, MsgLen: msgLen})
+	// One scenario drives both engines: a 32-node Quarc with its all-port
+	// BRCP router, Poisson sources at 0.002 messages/cycle/node, 5% of
+	// messages multicast to four nodes on the left rim, 32-flit messages.
+	s, err := noc.NewScenario(
+		noc.Quarc(32),
+		noc.MsgLen(32),
+		noc.Rate(0.002),
+		noc.Alpha(0.05),
+		noc.LocalizedDests(noc.PortL, 4),
+		noc.Seed(2024),
+		noc.Warmup(10000),
+		noc.Measure(100000),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 4. The wormhole simulator on the same configuration.
-	workload, err := traffic.NewWorkload(router, spec, 2024)
+	// The paper's analytical model (Eqs. 3-16).
+	pred, err := noc.Model{}.Evaluate(s)
 	if err != nil {
 		log.Fatal(err)
 	}
-	network, err := wormhole.New(router.Graph(), workload, wormhole.Config{
-		MsgLen:  msgLen,
-		Warmup:  10000,
-		Measure: 100000,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	res := network.Run()
 
-	// 5. Compare.
+	// The wormhole simulator on the same configuration.
+	meas, err := noc.Simulator{}.Evaluate(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("Quarc NoC, N=32, msg=32 flits, rate=0.002 msgs/cycle/node, alpha=5%")
-	fmt.Printf("  multicast set: %s\n\n", set)
+	fmt.Printf("  multicast set: %s\n\n", s.SetString())
 	fmt.Printf("  %-22s %12s %12s %9s\n", "", "model", "simulation", "rel.err")
 	fmt.Printf("  %-22s %12.3f %12.3f %8.2f%%\n", "unicast latency",
-		pred.UnicastLatency, res.Unicast.Mean(),
-		100*stats.RelErr(pred.UnicastLatency, res.Unicast.Mean()))
+		pred.Unicast, meas.Unicast, 100*noc.RelErr(pred.Unicast, meas.Unicast))
 	fmt.Printf("  %-22s %12.3f %12.3f %8.2f%%\n", "multicast latency",
-		pred.MulticastLatency, res.Multicast.Mean(),
-		100*stats.RelErr(pred.MulticastLatency, res.Multicast.Mean()))
+		pred.Multicast, meas.Multicast, 100*noc.RelErr(pred.Multicast, meas.Multicast))
 	fmt.Printf("\n  simulated %d messages over %.0f cycles (%d events)\n",
-		res.Completed, res.Time, res.Events)
+		meas.Completed, meas.Time, meas.Events)
 }

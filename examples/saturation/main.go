@@ -16,23 +16,19 @@ import (
 	"fmt"
 	"log"
 
-	"quarc/internal/experiments"
-	"quarc/internal/routing"
-	"quarc/internal/topology"
-	"quarc/internal/traffic"
-	"quarc/internal/wormhole"
+	"quarc/noc"
 )
 
 func main() {
 	log.SetFlags(0)
 
 	fmt.Println("Model stability boundary across the paper's parameter grid:")
-	rows, err := experiments.SaturationStudy(
+	rows, err := noc.SaturationStudy(
 		[]int{16, 32, 64}, []int{16, 32, 64}, []float64{0, 0.05, 0.10}, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(experiments.SatTable(rows))
+	fmt.Print(noc.SatTable(rows))
 
 	fmt.Println("\nNote the aggregate capacity column (sat-rate x N x M flits/cycle):")
 	fmt.Println("it stays in a narrow band per alpha — saturation is a bandwidth")
@@ -40,16 +36,15 @@ func main() {
 
 	// Probe the simulator around the model boundary for one configuration.
 	const n, msgLen = 32, 32
-	q, err := topology.NewQuarc(n)
+	s, err := noc.NewScenario(
+		noc.Quarc(n), noc.MsgLen(msgLen), noc.Alpha(0.05),
+		noc.LocalizedDests(noc.PortL, 4),
+		noc.Seed(55), noc.Warmup(10000), noc.Measure(60000), noc.SatQueue(400),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt := routing.NewQuarcRouter(q)
-	set, err := rt.LocalizedSet(topology.PortL, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sat, err := experiments.FindSaturationRate(rt, msgLen, 0.05, set, 1e-3)
+	sat, err := noc.SaturationRate(s)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,18 +52,15 @@ func main() {
 	fmt.Println("simulator probes around that boundary:")
 	for _, frac := range []float64{0.8, 1.0, 1.3, 1.8} {
 		rate := sat * frac
-		w, err := traffic.NewWorkload(rt, traffic.Spec{Rate: rate, MulticastFrac: 0.05, Set: set}, 55)
+		probe, err := s.With(noc.Rate(rate))
 		if err != nil {
 			log.Fatal(err)
 		}
-		nw, err := wormhole.New(rt.Graph(), w, wormhole.Config{
-			MsgLen: msgLen, Warmup: 10000, Measure: 60000, SatQueue: 400,
-		})
+		res, err := noc.Simulator{}.Evaluate(probe)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := nw.Run()
-		status := fmt.Sprintf("latency %.1f cycles (peak util %.2f)", res.Unicast.Mean(), res.MaxUtil)
+		status := fmt.Sprintf("latency %.1f cycles (peak util %.2f)", res.Unicast, res.MaxUtil)
 		if res.Saturated {
 			status = "SATURATED (backlog grows without bound)"
 		}

@@ -1,0 +1,3 @@
+module quarc
+
+go 1.22

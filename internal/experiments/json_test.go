@@ -24,7 +24,7 @@ func TestWriteJSONRoundTrips(t *testing.T) {
 	if err := WriteJSON(&buf, []Result{res}); err != nil {
 		t.Fatal(err)
 	}
-	var decoded []map[string]interface{}
+	var decoded []map[string]any
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
@@ -35,15 +35,15 @@ func TestWriteJSONRoundTrips(t *testing.T) {
 	if d["panel"] != "fig7-a" || d["figure"] != "7" || d["regime"] != "localized" {
 		t.Errorf("metadata wrong: %v", d)
 	}
-	pts, ok := d["points"].([]interface{})
+	pts, ok := d["points"].([]any)
 	if !ok || len(pts) != 3 {
 		t.Fatalf("points wrong: %v", d["points"])
 	}
-	first := pts[0].(map[string]interface{})
+	first := pts[0].(map[string]any)
 	if _, ok := first["model_unicast"].(float64); !ok {
 		t.Errorf("model_unicast not numeric: %v", first["model_unicast"])
 	}
-	if _, ok := d["agreement_core"].(map[string]interface{}); !ok {
+	if _, ok := d["agreement_core"].(map[string]any); !ok {
 		t.Errorf("agreement_core missing: %v", d["agreement_core"])
 	}
 }
@@ -86,7 +86,7 @@ func TestWriteJSONEmpty(t *testing.T) {
 	if err := WriteJSON(&buf, nil); err != nil {
 		t.Fatal(err)
 	}
-	var decoded []interface{}
+	var decoded []any
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatal(err)
 	}

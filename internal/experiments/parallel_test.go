@@ -100,24 +100,24 @@ func TestSaturationStudyMonotone(t *testing.T) {
 	if len(rows) != 3*2*2 {
 		t.Fatalf("rows = %d, want 12", len(rows))
 	}
-	byKey := map[[3]interface{}]float64{}
+	byKey := map[[3]any]float64{}
 	for _, r := range rows {
 		if !(r.SatRate > 0) || math.IsInf(r.SatRate, 0) {
 			t.Fatalf("bad saturation rate %v for %+v", r.SatRate, r)
 		}
-		byKey[[3]interface{}{r.N, r.MsgLen, r.Alpha}] = r.SatRate
+		byKey[[3]any{r.N, r.MsgLen, r.Alpha}] = r.SatRate
 	}
 	// Saturation rate decreases with network size...
-	if !(byKey[[3]interface{}{16, 16, 0.0}] > byKey[[3]interface{}{32, 16, 0.0}]) ||
-		!(byKey[[3]interface{}{32, 16, 0.0}] > byKey[[3]interface{}{64, 16, 0.0}]) {
+	if !(byKey[[3]any{16, 16, 0.0}] > byKey[[3]any{32, 16, 0.0}]) ||
+		!(byKey[[3]any{32, 16, 0.0}] > byKey[[3]any{64, 16, 0.0}]) {
 		t.Error("saturation rate not decreasing in N")
 	}
 	// ... with message length ...
-	if !(byKey[[3]interface{}{16, 16, 0.0}] > byKey[[3]interface{}{16, 32, 0.0}]) {
+	if !(byKey[[3]any{16, 16, 0.0}] > byKey[[3]any{16, 32, 0.0}]) {
 		t.Error("saturation rate not decreasing in message length")
 	}
 	// ... and with multicast share.
-	if !(byKey[[3]interface{}{16, 16, 0.0}] > byKey[[3]interface{}{16, 16, 0.05}]) {
+	if !(byKey[[3]any{16, 16, 0.0}] > byKey[[3]any{16, 16, 0.05}]) {
 		t.Error("saturation rate not decreasing in alpha")
 	}
 	if out := SatTable(rows); len(out) == 0 {

@@ -32,9 +32,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]
@@ -53,6 +53,18 @@ type Engine struct {
 
 // New returns an empty engine at time zero.
 func New() *Engine { return &Engine{} }
+
+// Reset returns the engine to its zero state — time zero, no pending
+// events, counters cleared — while keeping the allocated event heap, so
+// one engine can be reused across the points of a sweep without
+// reallocating.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.stopped = false
+	e.heap = e.heap[:0]
+}
 
 // Now returns the current simulated time.
 func (e *Engine) Now() float64 { return e.now }

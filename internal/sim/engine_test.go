@@ -156,6 +156,41 @@ func TestFiredCounter(t *testing.T) {
 	}
 }
 
+func TestReset(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(1, func(e *Engine) { fired++ })
+	e.At(2, func(e *Engine) { fired++ })
+	e.Run(1)
+
+	e.Reset()
+	if e.Now() != 0 || e.Fired() != 0 || e.Pending() != 0 {
+		t.Fatalf("after Reset: now=%v fired=%d pending=%d, want all zero",
+			e.Now(), e.Fired(), e.Pending())
+	}
+	// Scheduling at times earlier than the pre-Reset clock must work, and
+	// the dropped pending event must not fire.
+	fired = 0
+	e.At(0.5, func(e *Engine) { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired %d events after Reset, want 1", fired)
+	}
+	// A reset engine behaves identically to a fresh one: same tie-break
+	// sequence numbering.
+	e.Reset()
+	var order []int
+	for i := 0; i < 5; i++ {
+		e.At(1, func(e *Engine) { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO after Reset: %v", order)
+		}
+	}
+}
+
 // Stress: many random events must fire in nondecreasing time order.
 func TestRandomizedOrdering(t *testing.T) {
 	e := New()

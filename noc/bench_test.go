@@ -8,7 +8,7 @@
 //
 //	model_uni_cycles, sim_uni_cycles, relerr_uni_pct
 //	model_mc_cycles,  sim_mc_cycles,  relerr_mc_pct
-package quarc
+package noc
 
 import (
 	"math"

@@ -1,0 +1,120 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+)
+
+// Quarc port indices, re-exported for LocalizedDests. The four injection
+// ports of the all-port Quarc router serve one quadrant each; the paper
+// labels them L, LO, RO and R.
+const (
+	PortL  = topology.PortL
+	PortCL = topology.PortCL
+	PortCR = topology.PortCR
+	PortR  = topology.PortR
+)
+
+func init() {
+	RegisterTopology("quarc", "quarc", func(c TopologyConfig) (any, error) {
+		return topology.NewQuarc(c.N)
+	})
+	RegisterTopology("quarc-oneport", "quarc", func(c TopologyConfig) (any, error) {
+		return topology.NewQuarcOnePort(c.N)
+	})
+	RegisterTopology("spidergon", "spidergon", func(c TopologyConfig) (any, error) {
+		return topology.NewSpidergon(c.N)
+	})
+	RegisterTopology("mesh", "mesh", func(c TopologyConfig) (any, error) {
+		return topology.NewMesh(c.W, c.H)
+	})
+	RegisterTopology("torus", "mesh", func(c TopologyConfig) (any, error) {
+		return topology.NewTorus(c.W, c.H)
+	})
+	RegisterTopology("hypercube", "hypercube", func(c TopologyConfig) (any, error) {
+		return topology.NewHypercube(c.Dims)
+	})
+
+	RegisterRouter("quarc", func(topo any) (any, error) {
+		q, ok := topo.(*topology.Quarc)
+		if !ok {
+			return nil, fmt.Errorf("noc: quarc router needs a quarc topology, got %T", topo)
+		}
+		return routing.NewQuarcRouter(q), nil
+	})
+	RegisterRouter("spidergon", func(topo any) (any, error) {
+		s, ok := topo.(*topology.Spidergon)
+		if !ok {
+			return nil, fmt.Errorf("noc: spidergon router needs a spidergon topology, got %T", topo)
+		}
+		return routing.NewSpidergonRouter(s), nil
+	})
+	RegisterRouter("mesh", func(topo any) (any, error) {
+		m, ok := topo.(*topology.Mesh)
+		if !ok {
+			return nil, fmt.Errorf("noc: mesh router needs a mesh or torus topology, got %T", topo)
+		}
+		return routing.NewMeshRouter(m), nil
+	})
+	RegisterRouter("hypercube", func(topo any) (any, error) {
+		h, ok := topo.(*topology.Hypercube)
+		if !ok {
+			return nil, fmt.Errorf("noc: hypercube router needs a hypercube topology, got %T", topo)
+		}
+		return routing.NewHypercubeRouter(h), nil
+	})
+
+	RegisterPattern("none", func(router any, c PatternConfig) (any, error) {
+		rt, err := asRouter(router)
+		if err != nil {
+			return nil, err
+		}
+		return routing.NewMulticastSet(rt.Graph().Ports()), nil
+	})
+	RegisterPattern("random", func(router any, c PatternConfig) (any, error) {
+		rng := rand.New(rand.NewPCG(c.Seed, 0))
+		switch rt := router.(type) {
+		case *routing.QuarcRouter:
+			return rt.RandomSet(rng, c.K)
+		case *routing.SpidergonRouter:
+			return rt.RandomSet(rng, c.K)
+		}
+		return nil, fmt.Errorf("noc: pattern \"random\" not supported on %T", router)
+	})
+	RegisterPattern("localized", func(router any, c PatternConfig) (any, error) {
+		switch rt := router.(type) {
+		case *routing.QuarcRouter:
+			return rt.LocalizedSet(c.Port, c.K)
+		case *routing.SpidergonRouter:
+			return rt.LocalizedSet(c.K)
+		}
+		return nil, fmt.Errorf("noc: pattern \"localized\" not supported on %T", router)
+	})
+	RegisterPattern("broadcast", func(router any, c PatternConfig) (any, error) {
+		switch rt := router.(type) {
+		case *routing.QuarcRouter:
+			return rt.BroadcastSet(), nil
+		case *routing.SpidergonRouter:
+			return rt.BroadcastSet(), nil
+		}
+		return nil, fmt.Errorf("noc: pattern \"broadcast\" not supported on %T", router)
+	})
+	RegisterPattern("highlow", func(router any, c PatternConfig) (any, error) {
+		rt, ok := router.(*routing.MeshRouter)
+		if !ok {
+			return nil, fmt.Errorf("noc: pattern \"highlow\" not supported on %T", router)
+		}
+		return rt.HighLowSet(c.High, c.Low)
+	})
+}
+
+func asRouter(v any) (routing.Router, error) {
+	rt, ok := v.(routing.Router)
+	if !ok {
+		return nil, fmt.Errorf("noc: %T is not a router", v)
+	}
+	return rt, nil
+}

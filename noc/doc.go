@@ -1,0 +1,30 @@
+// Package noc is the public entry point of the Quarc NoC performance
+// study: one declarative Scenario type drives both the paper's analytical
+// M/G/1 wormhole model and the discrete-event wormhole simulator, and both
+// return the same Result type.
+//
+// A scenario is assembled from functional options over string-keyed
+// registries of topologies, routers and traffic patterns:
+//
+//	s, err := noc.NewScenario(
+//		noc.Quarc(64),
+//		noc.MsgLen(32),
+//		noc.Rate(0.001),
+//		noc.Alpha(0.05),
+//		noc.RandomDests(8, 1),
+//	)
+//	pred, err := noc.Model{}.Evaluate(s)     // paper Eqs. 3-16
+//	meas, err := noc.Simulator{}.Evaluate(s) // discrete-event simulation
+//
+// Evaluator is the common interface; Sweep runs any evaluator set across a
+// rate (and message-size) grid with a bounded worker pool. The figure
+// panels of the paper's evaluation are exposed through FigurePanels and
+// RunFigurePanels, and the DESIGN.md §7 ablation studies through
+// OnePortAblation, SpidergonComparison, MeshExtension and
+// ServiceFormulaAblation.
+//
+// The registries are open: RegisterTopology, RegisterRouter and
+// RegisterPattern add named builders that NewScenario resolves by name, so
+// new scenarios stay declarative. Topologies(), Routers() and Patterns()
+// enumerate what is available.
+package noc

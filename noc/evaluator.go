@@ -1,0 +1,123 @@
+package noc
+
+import (
+	"quarc/internal/core"
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+	"quarc/internal/wormhole"
+)
+
+// Evaluator turns a scenario into a result. The two implementations are
+// Model (the paper's analytical M/G/1 wormhole model) and Simulator (the
+// discrete-event wormhole simulator); both consume the same Scenario and
+// produce the same Result type, so they are interchangeable everywhere —
+// in particular in Sweep.
+type Evaluator interface {
+	// Name identifies the evaluator in results and tables.
+	Name() string
+	// Evaluate runs the engine on the scenario.
+	Evaluate(s *Scenario) (Result, error)
+}
+
+// Model evaluates the analytical model: the M/G/1 channel queues, the
+// wormhole service-time fixed point and the max-of-exponentials multicast
+// combination (paper Eqs. 3-16).
+type Model struct{}
+
+// Name implements Evaluator.
+func (Model) Name() string { return "model" }
+
+// Evaluate implements Evaluator.
+func (Model) Evaluate(s *Scenario) (Result, error) {
+	in := core.Input{
+		Router:         s.router,
+		Spec:           s.spec(),
+		MsgLen:         s.cfg.msgLen,
+		Damping:        s.cfg.damping,
+		MaxIter:        s.cfg.maxIter,
+		Tol:            s.cfg.tol,
+		WaitFormula:    core.WaitFormula(s.cfg.wait),
+		ServiceFormula: core.ServiceFormula(s.cfg.service),
+	}
+	m, err := core.NewModel(in)
+	if err != nil {
+		return Result{}, err
+	}
+	pred, err := m.Solve()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Evaluator:  "model",
+		Unicast:    pred.UnicastLatency,
+		Multicast:  pred.MulticastLatency,
+		Saturated:  pred.Saturated,
+		MaxRho:     pred.MaxRho,
+		Iterations: pred.Iterations,
+		Converged:  pred.Converged,
+	}
+	if s.cfg.detail && s.cfg.alpha > 0 && !pred.Saturated {
+		branches, raw, err := s.branches(0)
+		if err != nil {
+			return Result{}, err
+		}
+		for i := range branches {
+			branches[i].Wait = m.PathWait(raw[i].Path)
+		}
+		res.Branches = branches
+	}
+	return res, nil
+}
+
+// Simulator evaluates the discrete-event wormhole simulator on the same
+// scenario, standing in for the paper's OMNET++ model.
+type Simulator struct{}
+
+// Name implements Evaluator.
+func (Simulator) Name() string { return "simulator" }
+
+// Evaluate implements Evaluator.
+func (Simulator) Evaluate(s *Scenario) (Result, error) {
+	w, err := traffic.NewWorkload(s.router, s.spec(), s.cfg.seed)
+	if err != nil {
+		return Result{}, err
+	}
+	nw, err := wormhole.New(s.router.Graph(), w, wormhole.Config{
+		MsgLen:            s.cfg.msgLen,
+		Warmup:            s.cfg.warmup,
+		Measure:           s.cfg.measure,
+		SatQueue:          s.cfg.satQueue,
+		Detail:            s.cfg.detail,
+		Drain:             s.cfg.drain,
+		TraceEnabled:      s.cfg.traceEnabled,
+		TraceNode:         topology.NodeID(s.cfg.traceNode),
+		TraceLimit:        s.cfg.traceLimit,
+		MulticastPriority: s.cfg.mcPriority,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	r := nw.Run()
+	res := Result{
+		Evaluator:   "simulator",
+		Unicast:     r.Unicast.Mean(),
+		Multicast:   r.Multicast.Mean(),
+		Saturated:   r.Saturated,
+		UnicastCI:   r.UnicastBM.HalfWidth(1.96),
+		MulticastCI: r.MulticastBM.HalfWidth(1.96),
+		UnicastN:    r.Unicast.N(),
+		MulticastN:  r.Multicast.N(),
+		Generated:   r.Generated,
+		Completed:   r.Completed,
+		Time:        r.Time,
+		Events:      r.Events,
+		MaxUtil:     r.MaxUtil,
+	}
+	if r.Detail != nil {
+		res.DetailSummary = r.Detail.Summary()
+	}
+	if len(r.Trace) > 0 {
+		res.TraceText = wormhole.FormatTrace(s.router.Graph(), r.Trace)
+	}
+	return res, nil
+}

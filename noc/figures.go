@@ -1,0 +1,173 @@
+package noc
+
+import (
+	"io"
+
+	"quarc/internal/experiments"
+)
+
+// Panel is one paper figure panel: a single latency-vs-generation-rate
+// graph with a fixed network size, message length, multicast fraction and
+// destination regime.
+type Panel struct {
+	// ID names the panel, e.g. "fig6-a"; Figure is "6" (random
+	// destinations) or "7" (localized destinations).
+	ID     string `json:"id"`
+	Figure string `json:"figure"`
+	// N is the Quarc network size, MsgLen the message length in flits and
+	// Alpha the multicast fraction.
+	N      int     `json:"n"`
+	MsgLen int     `json:"msglen"`
+	Alpha  float64 `json:"alpha"`
+	// Random selects Fig. 6-style random destination sets (seeded by
+	// SetSeed); otherwise the set is localized on rim LocalPort (Fig. 7).
+	Random    bool   `json:"random"`
+	SetSize   int    `json:"set_size"`
+	LocalPort int    `json:"local_port"`
+	SetSeed   uint64 `json:"set_seed"`
+	// Points is the number of rate samples across the stable region
+	// (default 8).
+	Points int `json:"points"`
+}
+
+func fromInternalPanel(p experiments.Panel) Panel {
+	return Panel{ID: p.ID, Figure: p.Figure, N: p.N, MsgLen: p.MsgLen, Alpha: p.Alpha,
+		Random: p.Random, SetSize: p.SetSize, LocalPort: p.LocalPort, SetSeed: p.SetSeed,
+		Points: p.Points}
+}
+
+func (p Panel) toInternal() experiments.Panel {
+	return experiments.Panel{ID: p.ID, Figure: p.Figure, N: p.N, MsgLen: p.MsgLen,
+		Alpha: p.Alpha, Random: p.Random, SetSize: p.SetSize, LocalPort: p.LocalPort,
+		SetSeed: p.SetSeed, Points: p.Points}
+}
+
+// Fig6Panels returns the representative configurations for Figure 6
+// (random multicast destinations).
+func Fig6Panels() []Panel { return fromInternalPanels(experiments.Fig6Panels()) }
+
+// Fig7Panels returns the configurations for Figure 7 (localized
+// destinations: all targets on the same rim).
+func Fig7Panels() []Panel { return fromInternalPanels(experiments.Fig7Panels()) }
+
+// FigurePanels returns every figure panel in order.
+func FigurePanels() []Panel { return fromInternalPanels(experiments.AllPanels()) }
+
+func fromInternalPanels(ps []experiments.Panel) []Panel {
+	out := make([]Panel, len(ps))
+	for i, p := range ps {
+		out[i] = fromInternalPanel(p)
+	}
+	return out
+}
+
+// PanelByID finds a predefined panel by its ID.
+func PanelByID(id string) (Panel, error) {
+	p, err := experiments.PanelByID(id)
+	if err != nil {
+		return Panel{}, err
+	}
+	return fromInternalPanel(p), nil
+}
+
+// PanelResult is a completed figure panel.
+type PanelResult struct {
+	inner experiments.Result
+}
+
+// Panel returns the configuration the result was produced from.
+func (r PanelResult) Panel() Panel { return fromInternalPanel(r.inner.Panel) }
+
+// SatRate returns the model saturation rate the panel's rate grid was
+// scaled to.
+func (r PanelResult) SatRate() float64 { return r.inner.SatRate }
+
+// AsciiPlot renders the panel as an ASCII latency-vs-rate plot of the
+// given dimensions.
+func (r PanelResult) AsciiPlot(width, height int) string {
+	return experiments.AsciiPlot(r.inner, width, height)
+}
+
+// WriteCSV emits the panel's points as CSV.
+func (r PanelResult) WriteCSV(w io.Writer) error { return experiments.WriteCSV(w, r.inner) }
+
+// RunFigurePanels regenerates figure panels with a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS): for every rate in each panel's sweep
+// it evaluates the analytical model and runs the simulator. Results are
+// ordered like the input.
+func RunFigurePanels(panels []Panel, e Effort, workers int) ([]PanelResult, error) {
+	internal := make([]experiments.Panel, len(panels))
+	for i, p := range panels {
+		internal[i] = p.toInternal()
+	}
+	results, err := experiments.RunPanels(internal, experiments.SimConfig(e), workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PanelResult, len(results))
+	for i, r := range results {
+		out[i] = PanelResult{inner: r}
+	}
+	return out, nil
+}
+
+// WriteFiguresJSON emits panel results as a JSON array, the
+// machine-readable companion of WriteCSV.
+func WriteFiguresJSON(w io.Writer, results []PanelResult) error {
+	internal := make([]experiments.Result, len(results))
+	for i, r := range results {
+		internal[i] = r.inner
+	}
+	return experiments.WriteJSON(w, internal)
+}
+
+// FiguresSummary renders the model-vs-simulation agreement table over all
+// panels (relative error over stable points).
+func FiguresSummary(results []PanelResult) string {
+	internal := make([]experiments.Result, len(results))
+	for i, r := range results {
+		internal[i] = r.inner
+	}
+	return experiments.SummaryTable(internal)
+}
+
+// SatRow is one configuration of the saturation study: the model's
+// stability boundary as a function of network size, message length and
+// multicast rate.
+type SatRow struct {
+	N       int     `json:"n"`
+	MsgLen  int     `json:"msglen"`
+	Alpha   float64 `json:"alpha"`
+	SetSize int     `json:"set_size"`
+	// SatRate is the highest per-node generation rate the model's fixed
+	// point tolerates; Capacity is SatRate x N x MsgLen, the aggregate
+	// flit rate in flits/cycle.
+	SatRate  float64 `json:"sat_rate"`
+	Capacity float64 `json:"capacity"`
+}
+
+// SaturationStudy sweeps the model's saturation rate over the cartesian
+// product of the given Quarc sizes, message lengths and multicast
+// fractions, using a localized destination set of the given size.
+func SaturationStudy(sizes, msgs []int, alphas []float64, setSize int) ([]SatRow, error) {
+	rows, err := experiments.SaturationStudy(sizes, msgs, alphas, setSize)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SatRow, len(rows))
+	for i, r := range rows {
+		out[i] = SatRow{N: r.N, MsgLen: r.MsgLen, Alpha: r.Alpha, SetSize: r.SetSize,
+			SatRate: r.SatRate, Capacity: r.Capacity}
+	}
+	return out, nil
+}
+
+// SatTable renders the saturation study.
+func SatTable(rows []SatRow) string {
+	internal := make([]experiments.SatRow, len(rows))
+	for i, r := range rows {
+		internal[i] = experiments.SatRow{N: r.N, MsgLen: r.MsgLen, Alpha: r.Alpha,
+			SetSize: r.SetSize, SatRate: r.SatRate, Capacity: r.Capacity}
+	}
+	return experiments.SatTable(internal)
+}

@@ -1,0 +1,111 @@
+package noc
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+func TestRegistryNames(t *testing.T) {
+	for _, want := range []string{"quarc", "quarc-oneport", "spidergon", "mesh", "torus", "hypercube"} {
+		if !slices.Contains(Topologies(), want) {
+			t.Errorf("Topologies() = %v, missing %q", Topologies(), want)
+		}
+	}
+	for _, want := range []string{"quarc", "spidergon", "mesh", "hypercube"} {
+		if !slices.Contains(Routers(), want) {
+			t.Errorf("Routers() = %v, missing %q", Routers(), want)
+		}
+	}
+	for _, want := range []string{"none", "random", "localized", "broadcast", "highlow"} {
+		if !slices.Contains(Patterns(), want) {
+			t.Errorf("Patterns() = %v, missing %q", Patterns(), want)
+		}
+	}
+	if !slices.IsSorted(Topologies()) || !slices.IsSorted(Routers()) || !slices.IsSorted(Patterns()) {
+		t.Error("registry name listings must be sorted")
+	}
+}
+
+// TestRegistryRoundTrip builds one scenario per registered built-in
+// topology through the declarative name-based lookup.
+func TestRegistryRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   TopologyConfig
+		nodes int
+	}{
+		{"quarc", TopologyConfig{N: 16}, 16},
+		{"quarc-oneport", TopologyConfig{N: 16}, 16},
+		{"spidergon", TopologyConfig{N: 16}, 16},
+		{"mesh", TopologyConfig{W: 4, H: 4}, 16},
+		{"torus", TopologyConfig{W: 4, H: 4}, 16},
+		{"hypercube", TopologyConfig{Dims: 4}, 16},
+	}
+	for _, c := range cases {
+		s, err := NewScenario(Topology(c.name, c.cfg), Rate(0.001))
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if s.TopologyName() != c.name {
+			t.Errorf("%s: TopologyName() = %q", c.name, s.TopologyName())
+		}
+		if s.Nodes() != c.nodes {
+			t.Errorf("%s: Nodes() = %d, want %d", c.name, s.Nodes(), c.nodes)
+		}
+		if _, err := (Model{}).Evaluate(s); err != nil {
+			t.Errorf("%s: model evaluation: %v", c.name, err)
+		}
+	}
+}
+
+func TestRegistryUnknownNames(t *testing.T) {
+	_, err := NewScenario(Topology("ring", TopologyConfig{N: 8}))
+	if err == nil || !strings.Contains(err.Error(), `unknown topology "ring"`) {
+		t.Errorf("unknown topology error = %v", err)
+	}
+	// The error must list the known names so the registry is discoverable
+	// from the failure alone.
+	if err != nil && !strings.Contains(err.Error(), "quarc") {
+		t.Errorf("unknown topology error does not list known names: %v", err)
+	}
+
+	_, err = NewScenario(Quarc(16), Router("xy"))
+	if err == nil || !strings.Contains(err.Error(), `unknown router "xy"`) {
+		t.Errorf("unknown router error = %v", err)
+	}
+
+	_, err = NewScenario(Quarc(16), Pattern("bitcomp", PatternConfig{}))
+	if err == nil || !strings.Contains(err.Error(), `unknown traffic pattern "bitcomp"`) {
+		t.Errorf("unknown pattern error = %v", err)
+	}
+}
+
+func TestPatternTopologyMismatch(t *testing.T) {
+	// Hamilton-path offsets only exist on mesh/torus.
+	if _, err := NewScenario(Quarc(16), Alpha(0.05), HighLowDests([]int{1}, nil)); err == nil {
+		t.Error("highlow pattern on quarc should fail")
+	}
+	// Rim-localized sets only exist on quarc/spidergon.
+	if _, err := NewScenario(Mesh(4, 4), Alpha(0.05), LocalizedDests(0, 3)); err == nil {
+		t.Error("localized pattern on mesh should fail")
+	}
+}
+
+func TestRegisterCustomTopology(t *testing.T) {
+	// A custom name can alias an existing builder through the public
+	// registration hooks.
+	builder, err := topologyReg.lookup("quarc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterTopology("quarc-test-alias", "quarc", builder)
+	s, err := NewScenario(Topology("quarc-test-alias", TopologyConfig{N: 16}), Rate(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 16 {
+		t.Errorf("aliased topology Nodes() = %d", s.Nodes())
+	}
+}

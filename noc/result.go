@@ -1,0 +1,159 @@
+package noc
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// Result is the shared outcome type of every evaluator. Fields that only
+// one engine produces are zero for the other; latencies that do not apply
+// (e.g. multicast with alpha = 0) are NaN and marshal to JSON null.
+type Result struct {
+	// Evaluator names the engine that produced the result ("model" or
+	// "simulator").
+	Evaluator string
+	// Unicast and Multicast are the average message latencies in cycles.
+	Unicast   float64
+	Multicast float64
+	// Saturated reports that the configuration is beyond the stable
+	// region (model: a channel utilization reached 1; simulator: the
+	// injection backlog grew without bound).
+	Saturated bool
+
+	// Model-only fields.
+
+	// MaxRho is the largest channel utilization at the fixed point.
+	MaxRho float64
+	// Iterations counts the fixed-point sweeps; Converged reports whether
+	// they met the tolerance.
+	Iterations int
+	Converged  bool
+	// Branches holds per-branch waits; nil unless Detail was enabled.
+	Branches []BranchInfo
+
+	// Simulator-only fields.
+
+	// UnicastCI and MulticastCI are 95% batch-means half-widths.
+	UnicastCI   float64
+	MulticastCI float64
+	// UnicastN and MulticastN count the measured messages per class;
+	// Generated and Completed count all messages in the window.
+	UnicastN   int64
+	MulticastN int64
+	Generated  int64
+	Completed  int64
+	// Time is the simulated time, Events the number of discrete events.
+	Time   float64
+	Events uint64
+	// MaxUtil is the highest channel utilization observed.
+	MaxUtil float64
+	// DetailSummary holds the per-port/per-distance breakdown; empty
+	// unless Detail was enabled.
+	DetailSummary string
+	// TraceText holds the formatted event trace; empty unless Trace was
+	// enabled.
+	TraceText string
+}
+
+// jsonResult mirrors Result with JSON-safe numbers: NaN and Inf have no
+// JSON representation and encode as null.
+type jsonResult struct {
+	Evaluator     string       `json:"evaluator"`
+	Unicast       *float64     `json:"unicast"`
+	Multicast     *float64     `json:"multicast"`
+	Saturated     bool         `json:"saturated"`
+	MaxRho        float64      `json:"max_rho,omitempty"`
+	Iterations    int          `json:"iterations,omitempty"`
+	Converged     bool         `json:"converged,omitempty"`
+	Branches      []BranchInfo `json:"branches,omitempty"`
+	UnicastCI     *float64     `json:"unicast_ci95,omitempty"`
+	MulticastCI   *float64     `json:"multicast_ci95,omitempty"`
+	UnicastN      int64        `json:"unicast_messages,omitempty"`
+	MulticastN    int64        `json:"multicast_messages,omitempty"`
+	Generated     int64        `json:"generated,omitempty"`
+	Completed     int64        `json:"completed,omitempty"`
+	Time          float64      `json:"time,omitempty"`
+	Events        uint64       `json:"events,omitempty"`
+	MaxUtil       float64      `json:"max_util,omitempty"`
+	DetailSummary string       `json:"detail,omitempty"`
+	TraceText     string       `json:"trace,omitempty"`
+}
+
+func jsonNum(x float64) *float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil
+	}
+	return &x
+}
+
+func fromJSONNum(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// MarshalJSON encodes the result with NaN/Inf latencies as null.
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonResult{
+		Evaluator:     r.Evaluator,
+		Unicast:       jsonNum(r.Unicast),
+		Multicast:     jsonNum(r.Multicast),
+		Saturated:     r.Saturated,
+		MaxRho:        r.MaxRho,
+		Iterations:    r.Iterations,
+		Converged:     r.Converged,
+		Branches:      r.Branches,
+		UnicastCI:     jsonNum(r.UnicastCI),
+		MulticastCI:   jsonNum(r.MulticastCI),
+		UnicastN:      r.UnicastN,
+		MulticastN:    r.MulticastN,
+		Generated:     r.Generated,
+		Completed:     r.Completed,
+		Time:          r.Time,
+		Events:        r.Events,
+		MaxUtil:       r.MaxUtil,
+		DetailSummary: r.DetailSummary,
+		TraceText:     r.TraceText,
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON; null latencies decode to
+// NaN.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var jr jsonResult
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return err
+	}
+	*r = Result{
+		Evaluator:     jr.Evaluator,
+		Unicast:       fromJSONNum(jr.Unicast),
+		Multicast:     fromJSONNum(jr.Multicast),
+		Saturated:     jr.Saturated,
+		MaxRho:        jr.MaxRho,
+		Iterations:    jr.Iterations,
+		Converged:     jr.Converged,
+		Branches:      jr.Branches,
+		UnicastCI:     fromJSONNum(jr.UnicastCI),
+		MulticastCI:   fromJSONNum(jr.MulticastCI),
+		UnicastN:      jr.UnicastN,
+		MulticastN:    jr.MulticastN,
+		Generated:     jr.Generated,
+		Completed:     jr.Completed,
+		Time:          jr.Time,
+		Events:        jr.Events,
+		MaxUtil:       jr.MaxUtil,
+		DetailSummary: jr.DetailSummary,
+		TraceText:     jr.TraceText,
+	}
+	return nil
+}
+
+// RelErr returns |a-b| / |b|, the relative error of a prediction a against
+// a reference b (NaN when the reference is zero or NaN).
+func RelErr(a, b float64) float64 {
+	if b == 0 || math.IsNaN(b) {
+		return math.NaN()
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

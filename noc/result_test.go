@@ -1,0 +1,77 @@
+package noc
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := Result{
+		Evaluator: "model",
+		Unicast:   41.25,
+		Multicast: math.NaN(), // alpha = 0: no multicast latency
+		MaxRho:    0.31,
+		Converged: true,
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["unicast"] != 41.25 {
+		t.Errorf("unicast = %v", m["unicast"])
+	}
+	if v, present := m["multicast"]; !present || v != nil {
+		t.Errorf("NaN multicast should marshal to null, got %v (present=%v)", v, present)
+	}
+
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Unicast != r.Unicast || !math.IsNaN(back.Multicast) ||
+		back.MaxRho != r.MaxRho || !back.Converged || back.Evaluator != "model" {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestResultJSONSaturated(t *testing.T) {
+	r := Result{Evaluator: "model", Unicast: math.Inf(1), Multicast: math.Inf(1), Saturated: true}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("Inf latencies must marshal (as null): %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Saturated || !math.IsNaN(back.Unicast) {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestSweepResultJSON(t *testing.T) {
+	s, err := NewScenario(Quarc(16), MsgLen(16), Warmup(500), Measure(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sweep(s, SweepOptions{Rates: []float64{0.002}, Evaluators: []Evaluator{Model{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["topology"] != "quarc" {
+		t.Errorf("topology = %v", m["topology"])
+	}
+}

@@ -1,0 +1,558 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+)
+
+// WaitFormula selects the M/G/1 waiting-time formula of the analytical
+// model (see DESIGN.md §2).
+type WaitFormula int
+
+const (
+	// PKStandard is the standard Pollaczek-Khinchine mean wait, the
+	// default and the form that reproduces the simulator.
+	PKStandard WaitFormula = iota
+	// PaperEq3Literal evaluates the paper's Eq. 3 exactly as printed; it
+	// exists to demonstrate the printed formula cannot reproduce the
+	// paper's own figures.
+	PaperEq3Literal
+)
+
+// ServiceFormula selects the channel service-time recurrence of the
+// analytical model (see DESIGN.md §3).
+type ServiceFormula int
+
+const (
+	// PaperEq6 is the paper's recurrence (one extra cycle per downstream
+	// hop), the default.
+	PaperEq6 ServiceFormula = iota
+	// TailRelease drops the per-hop cycle, modelling the physical channel
+	// holding time exactly.
+	TailRelease
+)
+
+// config is the declarative description a Scenario is resolved from.
+type config struct {
+	topoName   string
+	topoCfg    TopologyConfig
+	routerName string // empty selects the topology's default router
+	patName    string
+	patCfg     PatternConfig
+
+	msgLen      int
+	rate        float64
+	alpha       float64
+	hotspotFrac float64
+	hotspotNode int
+
+	// analytical-model knobs (zero selects the core defaults)
+	damping float64
+	maxIter int
+	tol     float64
+	wait    WaitFormula
+	service ServiceFormula
+
+	// simulator knobs
+	seed         uint64
+	warmup       float64
+	measure      float64
+	satQueue     int
+	drain        bool
+	detail       bool
+	mcPriority   bool
+	traceEnabled bool
+	traceNode    int
+	traceLimit   int
+}
+
+// Option mutates a scenario configuration. Options are applied in order;
+// later options override earlier ones.
+type Option func(*config) error
+
+// Scenario is one fully resolved evaluation configuration: a routed
+// topology, a workload and the engine knobs. Build it with NewScenario and
+// hand it to any Evaluator; the same Scenario value drives the analytical
+// model and the discrete-event simulator, so both sides always see exactly
+// the same configuration.
+type Scenario struct {
+	cfg    config
+	router routing.Router
+	set    routing.MulticastSet
+}
+
+// Topology options.
+
+// Quarc selects the Quarc NoC with n nodes (multiple of 4, at least 8) and
+// its all-port BRCP router.
+func Quarc(n int) Option { return Topology("quarc", TopologyConfig{N: n}) }
+
+// QuarcOnePort selects the one-port Quarc variant (identical links, a
+// single injection/ejection port) — the ablation baseline.
+func QuarcOnePort(n int) Option { return Topology("quarc-oneport", TopologyConfig{N: n}) }
+
+// Spidergon selects the Spidergon NoC with n nodes.
+func Spidergon(n int) Option { return Topology("spidergon", TopologyConfig{N: n}) }
+
+// Mesh selects a w x h mesh with XY unicast routing and dual-path Hamilton
+// multicast.
+func Mesh(w, h int) Option { return Topology("mesh", TopologyConfig{W: w, H: h}) }
+
+// Torus selects a w x h torus.
+func Torus(w, h int) Option { return Topology("torus", TopologyConfig{W: w, H: h}) }
+
+// Hypercube selects a hypercube with the given number of dimensions.
+func Hypercube(dims int) Option { return Topology("hypercube", TopologyConfig{Dims: dims}) }
+
+// Topology selects a registered topology by name — the declarative form
+// the named options above reduce to.
+func Topology(name string, c TopologyConfig) Option {
+	return func(cfg *config) error {
+		cfg.topoName = name
+		cfg.topoCfg = c
+		return nil
+	}
+}
+
+// Router overrides the topology's default router with a registered one.
+func Router(name string) Option {
+	return func(cfg *config) error {
+		cfg.routerName = name
+		return nil
+	}
+}
+
+// Workload options.
+
+// MsgLen sets the message length in flits (at least 2; default 32).
+func MsgLen(flits int) Option {
+	return func(cfg *config) error {
+		cfg.msgLen = flits
+		return nil
+	}
+}
+
+// Rate sets the per-node Poisson message generation rate (messages/cycle).
+func Rate(rate float64) Option {
+	return func(cfg *config) error {
+		cfg.rate = rate
+		return nil
+	}
+}
+
+// Alpha sets the multicast fraction of generated messages.
+func Alpha(alpha float64) Option {
+	return func(cfg *config) error {
+		cfg.alpha = alpha
+		return nil
+	}
+}
+
+// Hotspot skews unicast destinations: with probability frac a unicast goes
+// to node instead of a uniform destination.
+func Hotspot(frac float64, node int) Option {
+	return func(cfg *config) error {
+		cfg.hotspotFrac = frac
+		cfg.hotspotNode = node
+		return nil
+	}
+}
+
+// Traffic-pattern options.
+
+// RandomDests selects k multicast destinations uniformly at random
+// (reproducibly, from seed) — the paper's Figure 6 regime.
+func RandomDests(k int, seed uint64) Option {
+	return Pattern("random", PatternConfig{K: k, Seed: seed})
+}
+
+// LocalizedDests puts all k multicast destinations on one rim/port — the
+// paper's Figure 7 regime. Quarc ports are PortL, PortCL, PortCR, PortR.
+func LocalizedDests(port, k int) Option {
+	return Pattern("localized", PatternConfig{Port: port, K: k})
+}
+
+// Broadcast targets every node in the network.
+func Broadcast() Option { return Pattern("broadcast", PatternConfig{}) }
+
+// HighLowDests selects Hamilton-path offsets for mesh/torus multicast:
+// high lists forward offsets, low backward ones.
+func HighLowDests(high, low []int) Option {
+	return Pattern("highlow", PatternConfig{High: high, Low: low})
+}
+
+// Pattern selects a registered traffic pattern by name — the declarative
+// form the named options above reduce to.
+func Pattern(name string, c PatternConfig) Option {
+	return func(cfg *config) error {
+		cfg.patName = name
+		cfg.patCfg = c
+		return nil
+	}
+}
+
+// Analytical-model options.
+
+// ModelDamping sets the fixed-point damping factor in (0,1].
+func ModelDamping(d float64) Option {
+	return func(cfg *config) error {
+		cfg.damping = d
+		return nil
+	}
+}
+
+// ModelMaxIter bounds the fixed-point iterations.
+func ModelMaxIter(n int) Option {
+	return func(cfg *config) error {
+		cfg.maxIter = n
+		return nil
+	}
+}
+
+// ModelTol sets the fixed-point convergence tolerance.
+func ModelTol(tol float64) Option {
+	return func(cfg *config) error {
+		cfg.tol = tol
+		return nil
+	}
+}
+
+// ModelWait selects the M/G/1 waiting-time formula.
+func ModelWait(f WaitFormula) Option {
+	return func(cfg *config) error {
+		cfg.wait = f
+		return nil
+	}
+}
+
+// ModelService selects the service-time recurrence.
+func ModelService(f ServiceFormula) Option {
+	return func(cfg *config) error {
+		cfg.service = f
+		return nil
+	}
+}
+
+// Simulator options.
+
+// Seed sets the simulation seed (default 1).
+func Seed(seed uint64) Option {
+	return func(cfg *config) error {
+		cfg.seed = seed
+		return nil
+	}
+}
+
+// Warmup sets the number of cycles simulated before statistics are
+// collected (default 10000).
+func Warmup(cycles float64) Option {
+	return func(cfg *config) error {
+		cfg.warmup = cycles
+		return nil
+	}
+}
+
+// Measure sets the measurement window in cycles (default 100000).
+func Measure(cycles float64) Option {
+	return func(cfg *config) error {
+		cfg.measure = cycles
+		return nil
+	}
+}
+
+// SatQueue sets the injection backlog at which a run is declared
+// saturated.
+func SatQueue(n int) Option {
+	return func(cfg *config) error {
+		cfg.satQueue = n
+		return nil
+	}
+}
+
+// Drain lets messages generated inside the measurement window finish after
+// it closes, removing the censoring bias against long-latency messages.
+func Drain(on bool) Option {
+	return func(cfg *config) error {
+		cfg.drain = on
+		return nil
+	}
+}
+
+// Detail enables fine-grained output: the simulator's per-port and
+// per-distance breakdowns, and the model's per-branch waits.
+func Detail(on bool) Option {
+	return func(cfg *config) error {
+		cfg.detail = on
+		return nil
+	}
+}
+
+// MulticastPriority switches channel arbitration from pure FIFO to
+// multicast-first.
+func MulticastPriority(on bool) Option {
+	return func(cfg *config) error {
+		cfg.mcPriority = on
+		return nil
+	}
+}
+
+// Trace records the simulator events of messages generated at node,
+// capped at limit events.
+func Trace(node, limit int) Option {
+	return func(cfg *config) error {
+		cfg.traceEnabled = true
+		cfg.traceNode = node
+		cfg.traceLimit = limit
+		return nil
+	}
+}
+
+// Effort bundles the simulation effort knobs (warmup, measurement window,
+// seed) so presets can be passed around as one value.
+type Effort struct {
+	Warmup  float64
+	Measure float64
+	Seed    uint64
+}
+
+// DefaultEffort is long enough for tight confidence intervals on every
+// figure panel.
+func DefaultEffort() Effort { return Effort{Warmup: 20000, Measure: 200000, Seed: 0xC0FFEE} }
+
+// QuickEffort is a cheaper setting for tests and exploratory runs.
+func QuickEffort() Effort { return Effort{Warmup: 5000, Measure: 40000, Seed: 0xC0FFEE} }
+
+// SimEffort applies an effort preset as an option.
+func SimEffort(e Effort) Option {
+	return func(cfg *config) error {
+		cfg.warmup = e.Warmup
+		cfg.measure = e.Measure
+		cfg.seed = e.Seed
+		return nil
+	}
+}
+
+// NewScenario resolves a declarative configuration into a runnable
+// scenario: it applies the options, builds the topology and router through
+// the registries and materializes the multicast destination set.
+func NewScenario(opts ...Option) (*Scenario, error) {
+	cfg := config{
+		topoName: "quarc",
+		topoCfg:  TopologyConfig{N: 16},
+		patName:  "none",
+		msgLen:   32,
+		seed:     1,
+		warmup:   10000,
+		measure:  100000,
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return resolve(cfg)
+}
+
+// With derives a new scenario from an existing one with extra options
+// applied — the cheap way to fork a base configuration across rates,
+// message lengths or model variants.
+func (s *Scenario) With(opts ...Option) (*Scenario, error) {
+	cfg := s.cfg
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.topoName == s.cfg.topoName && cfg.topoCfg == s.cfg.topoCfg &&
+		cfg.routerName == s.cfg.routerName && cfg.patName == s.cfg.patName &&
+		equalPatternConfig(cfg.patCfg, s.cfg.patCfg) {
+		// The routed topology and destination set are unchanged; share
+		// them (both are read-only after construction).
+		fork := &Scenario{cfg: cfg, router: s.router, set: s.set}
+		if err := fork.validate(); err != nil {
+			return nil, err
+		}
+		return fork, nil
+	}
+	return resolve(cfg)
+}
+
+func equalPatternConfig(a, b PatternConfig) bool {
+	if a.K != b.K || a.Port != b.Port || a.Seed != b.Seed ||
+		len(a.High) != len(b.High) || len(a.Low) != len(b.Low) {
+		return false
+	}
+	for i := range a.High {
+		if a.High[i] != b.High[i] {
+			return false
+		}
+	}
+	for i := range a.Low {
+		if a.Low[i] != b.Low[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func resolve(cfg config) (*Scenario, error) {
+	buildTopo, err := topologyReg.lookup(cfg.topoName)
+	if err != nil {
+		return nil, err
+	}
+	routerName := cfg.routerName
+	if routerName == "" {
+		routerName = defaultRouterFor(cfg.topoName)
+	}
+	buildRouter, err := routerReg.lookup(routerName)
+	if err != nil {
+		return nil, err
+	}
+	buildPattern, err := patternReg.lookup(cfg.patName)
+	if err != nil {
+		return nil, err
+	}
+
+	topo, err := buildTopo(cfg.topoCfg)
+	if err != nil {
+		return nil, err
+	}
+	routerVal, err := buildRouter(topo)
+	if err != nil {
+		return nil, err
+	}
+	router, err := asRouter(routerVal)
+	if err != nil {
+		return nil, err
+	}
+	setVal, err := buildPattern(router, cfg.patCfg)
+	if err != nil {
+		return nil, err
+	}
+	set, ok := setVal.(routing.MulticastSet)
+	if !ok {
+		return nil, fmt.Errorf("noc: pattern %q returned %T, not a multicast set", cfg.patName, setVal)
+	}
+
+	s := &Scenario{cfg: cfg, router: router, set: set}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validate checks the resolved configuration; both NewScenario and the
+// fast path of With run it, so a *Scenario is always well-formed.
+func (s *Scenario) validate() error {
+	if err := s.spec().Validate(); err != nil {
+		return err
+	}
+	if s.cfg.msgLen < 2 {
+		return fmt.Errorf("noc: message length %d too short", s.cfg.msgLen)
+	}
+	return nil
+}
+
+// spec assembles the traffic specification both evaluators consume.
+func (s *Scenario) spec() traffic.Spec {
+	return traffic.Spec{
+		Rate:          s.cfg.rate,
+		MulticastFrac: s.cfg.alpha,
+		Set:           s.set,
+		HotspotFrac:   s.cfg.hotspotFrac,
+		HotspotNode:   topology.NodeID(s.cfg.hotspotNode),
+	}
+}
+
+// TopologyName returns the scenario's topology registry name.
+func (s *Scenario) TopologyName() string { return s.cfg.topoName }
+
+// PatternName returns the scenario's traffic-pattern registry name.
+func (s *Scenario) PatternName() string { return s.cfg.patName }
+
+// Nodes returns the network size.
+func (s *Scenario) Nodes() int { return s.router.Graph().Nodes() }
+
+// Channels returns the number of unidirectional channels in the network.
+func (s *Scenario) Channels() int { return s.router.Graph().NumChannels() }
+
+// MsgLen returns the message length in flits.
+func (s *Scenario) MsgLen() int { return s.cfg.msgLen }
+
+// Rate returns the per-node message generation rate.
+func (s *Scenario) Rate() float64 { return s.cfg.rate }
+
+// Alpha returns the multicast fraction.
+func (s *Scenario) Alpha() float64 { return s.cfg.alpha }
+
+// SetString renders the multicast destination set in the paper's per-port
+// bitstring notation.
+func (s *Scenario) SetString() string { return s.set.String() }
+
+// PortName returns a human-readable label for an injection port: the
+// paper's L/LO/RO/R labels on a Quarc, generic "P<i>" labels elsewhere.
+func (s *Scenario) PortName(port int) string {
+	if strings.HasPrefix(s.cfg.topoName, "quarc") && s.router.Graph().Ports() == topology.QuarcPorts {
+		return topology.QuarcPortName(port)
+	}
+	return fmt.Sprintf("P%d", port)
+}
+
+// BranchInfo describes one stream of a multicast operation from a given
+// source: the worm injected into one port.
+type BranchInfo struct {
+	// Port is the injection port index; PortName its human-readable label.
+	Port     int    `json:"port"`
+	PortName string `json:"port_name"`
+	// Hops is the header pipeline depth (channel crossings) of the branch.
+	Hops int `json:"hops"`
+	// Walk lists the routers the stream visits after the source, in order.
+	Walk []int `json:"walk"`
+	// Targets lists the absorbing nodes in visit order; the final element
+	// is the branch endpoint.
+	Targets []int `json:"targets"`
+	// Wait is the model's expected total header waiting time along the
+	// branch; zero unless filled in by Model with Detail enabled.
+	Wait float64 `json:"wait,omitempty"`
+}
+
+// Branches returns the multicast streams a message from src spawns under
+// the scenario's destination set — the paper's Fig. 3 walk when the set is
+// a broadcast.
+func (s *Scenario) Branches(src int) ([]BranchInfo, error) {
+	infos, _, err := s.branches(src)
+	return infos, err
+}
+
+// branches additionally returns the raw routed branches, index-aligned
+// with the infos, for callers that need the channel paths.
+func (s *Scenario) branches(src int) ([]BranchInfo, []routing.Branch, error) {
+	if s.set.Empty() {
+		return nil, nil, fmt.Errorf("noc: scenario has no multicast destination set")
+	}
+	branches, err := s.router.MulticastBranches(topology.NodeID(src), s.set)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := s.router.Graph()
+	out := make([]BranchInfo, 0, len(branches))
+	for _, b := range branches {
+		info := BranchInfo{
+			Port:     b.Port,
+			PortName: s.PortName(b.Port),
+			Hops:     len(b.Path) - 1,
+		}
+		for _, id := range b.Path[1 : len(b.Path)-1] {
+			info.Walk = append(info.Walk, int(g.Channel(id).Dst))
+		}
+		for _, t := range b.Targets {
+			info.Targets = append(info.Targets, int(t))
+		}
+		out = append(out, info)
+	}
+	return out, branches, nil
+}

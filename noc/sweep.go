@@ -1,0 +1,184 @@
+package noc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"quarc/internal/experiments"
+)
+
+// SweepOptions controls a Sweep run.
+type SweepOptions struct {
+	// Rates lists the per-node generation rates to evaluate. When empty,
+	// Points rates are auto-placed at 10%..95% of the model's saturation
+	// rate, as the paper's figures do.
+	Rates []float64
+	// Points is the auto-grid size (default 8; ignored when Rates is
+	// set).
+	Points int
+	// MsgLens optionally sweeps message sizes as well; the default is the
+	// scenario's message length. The sweep covers the cross product
+	// MsgLens x rates.
+	MsgLens []int
+	// Workers bounds the concurrent evaluations; <= 0 selects
+	// GOMAXPROCS. Results are deterministic regardless of worker count.
+	Workers int
+	// Evaluators are run in order at every point; the default pair is
+	// {Model{}, Simulator{}}.
+	Evaluators []Evaluator
+}
+
+// SweepPoint is one (message length, rate) sample of a sweep, holding one
+// result per evaluator in the order they were given.
+type SweepPoint struct {
+	MsgLen  int      `json:"msglen"`
+	Rate    float64  `json:"rate"`
+	Results []Result `json:"results"`
+}
+
+// Get returns the point's result for a named evaluator.
+func (p SweepPoint) Get(name string) (Result, bool) {
+	for _, r := range p.Results {
+		if r.Evaluator == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// SweepResult is a completed sweep.
+type SweepResult struct {
+	// Topology and Set identify the swept configuration.
+	Topology string `json:"topology"`
+	Set      string `json:"multicast_set"`
+	// SatRate is the model's saturation rate the auto grid was scaled
+	// to: the scenario's own message length when it is part of the
+	// sweep, otherwise the first swept length. Zero when the sweep used
+	// explicit rates.
+	SatRate float64 `json:"model_saturation_rate,omitempty"`
+	// Points are ordered by (MsgLen, Rate) in the input order.
+	Points []SweepPoint `json:"points"`
+}
+
+// SaturationRate bisects for the highest generation rate at which the
+// analytical model is stable for the scenario, within relative tolerance
+// 1e-3. The paper's figures scale their rate grids to this boundary.
+func SaturationRate(s *Scenario) (float64, error) {
+	return experiments.FindSaturationRate(s.router, s.cfg.msgLen, s.cfg.alpha, s.set, 1e-3)
+}
+
+// Sweep evaluates the scenario across a rate (and optionally message-size)
+// grid with a bounded worker pool, running every evaluator at every point.
+// It generalizes the figure-panel sweep: any scenario, any evaluator set,
+// deterministic results in input order.
+func Sweep(s *Scenario, o SweepOptions) (SweepResult, error) {
+	evals := o.Evaluators
+	if len(evals) == 0 {
+		evals = []Evaluator{Model{}, Simulator{}}
+	}
+	msgLens := o.MsgLens
+	if len(msgLens) == 0 {
+		msgLens = []int{s.cfg.msgLen}
+	}
+
+	out := SweepResult{Topology: s.cfg.topoName, Set: s.SetString()}
+
+	// Build the job grid. With explicit rates the grid is the plain cross
+	// product; otherwise each message length gets its own grid scaled to
+	// its saturation rate.
+	type job struct {
+		msgLen int
+		rate   float64
+	}
+	var jobs []job
+	for _, msgLen := range msgLens {
+		rates := o.Rates
+		if len(rates) == 0 {
+			sm, err := s.With(MsgLen(msgLen))
+			if err != nil {
+				return SweepResult{}, err
+			}
+			sat, err := SaturationRate(sm)
+			if err != nil {
+				return SweepResult{}, err
+			}
+			if msgLen == s.cfg.msgLen || out.SatRate == 0 {
+				out.SatRate = sat
+			}
+			points := o.Points
+			if points <= 0 {
+				points = 8
+			}
+			rates = make([]float64, points)
+			// Sample 10%..95% of the model's stable region; a single
+			// point lands mid-region.
+			step := 0.0
+			if points > 1 {
+				step = (0.95 - 0.10) / float64(points-1)
+			}
+			for i := range rates {
+				frac := 0.10 + step*float64(i)
+				if points == 1 {
+					frac = 0.50
+				}
+				rates[i] = sat * frac
+			}
+		}
+		for _, rate := range rates {
+			jobs = append(jobs, job{msgLen: msgLen, rate: rate})
+		}
+	}
+
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	points := make([]SweepPoint, len(jobs))
+	errs := make([]error, len(jobs))
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				points[i], errs[i] = runPoint(s, jobs[i].msgLen, jobs[i].rate, evals)
+			}
+		}()
+	}
+	for i := range jobs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("noc: sweep point (msglen=%d, rate=%g): %w",
+				jobs[i].msgLen, jobs[i].rate, err)
+		}
+	}
+	out.Points = points
+	return out, nil
+}
+
+func runPoint(s *Scenario, msgLen int, rate float64, evals []Evaluator) (SweepPoint, error) {
+	sp, err := s.With(MsgLen(msgLen), Rate(rate))
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	pt := SweepPoint{MsgLen: msgLen, Rate: rate}
+	for _, ev := range evals {
+		r, err := ev.Evaluate(sp)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		pt.Results = append(pt.Results, r)
+	}
+	return pt, nil
+}

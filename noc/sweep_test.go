@@ -1,0 +1,176 @@
+package noc
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestSweepExplicitRates(t *testing.T) {
+	s, err := NewScenario(Quarc(16), MsgLen(16), Alpha(0.05), LocalizedDests(PortL, 3),
+		Warmup(1000), Measure(10000), Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := []float64{0.001, 0.002, 0.004}
+	res, err := Sweep(s, SweepOptions{Rates: rates, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(rates) {
+		t.Fatalf("got %d points, want %d", len(res.Points), len(rates))
+	}
+	for i, pt := range res.Points {
+		if pt.Rate != rates[i] {
+			t.Errorf("point %d rate = %v, want %v (input order must be preserved)", i, pt.Rate, rates[i])
+		}
+		if len(pt.Results) != 2 {
+			t.Fatalf("point %d has %d results, want model+simulator", i, len(pt.Results))
+		}
+		model, ok := pt.Get("model")
+		if !ok || model.Saturated || math.IsNaN(model.Unicast) {
+			t.Errorf("point %d model result bad: %+v", i, model)
+		}
+		sim, ok := pt.Get("simulator")
+		if !ok || sim.Completed == 0 {
+			t.Errorf("point %d simulator result bad: %+v", i, sim)
+		}
+	}
+	// Latency grows with load.
+	first, _ := res.Points[0].Get("model")
+	last, _ := res.Points[len(res.Points)-1].Get("model")
+	if !(last.Unicast > first.Unicast) {
+		t.Errorf("model latency did not grow with rate: %v -> %v", first.Unicast, last.Unicast)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers pins the bounded pool down: the
+// worker count must not change any number.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	s, err := NewScenario(Quarc(16), MsgLen(16), Alpha(0.05), LocalizedDests(PortL, 3),
+		Warmup(1000), Measure(10000), Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := SweepOptions{Rates: []float64{0.001, 0.003}, MsgLens: []int{16, 32}}
+	o.Workers = 1
+	seq, err := Sweep(s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 4
+	par, err := Sweep(s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare via JSON so NaN fields (e.g. a CI with too few batches)
+	// compare equal; every finite number must still be bitwise identical.
+	seqJSON, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Error("sweep results differ between 1 and 4 workers")
+	}
+	if len(seq.Points) != 4 {
+		t.Fatalf("rate x size cross product: got %d points, want 4", len(seq.Points))
+	}
+}
+
+func TestSweepAutoGrid(t *testing.T) {
+	s, err := NewScenario(Quarc(16), MsgLen(16), Warmup(500), Measure(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sweep(s, SweepOptions{Points: 4, Evaluators: []Evaluator{Model{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SatRate <= 0 {
+		t.Fatalf("auto grid did not record a saturation rate: %v", res.SatRate)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(res.Points))
+	}
+	lo, hi := 0.10*res.SatRate, 0.95*res.SatRate
+	for _, pt := range res.Points {
+		if pt.Rate < lo-1e-12 || pt.Rate > hi+1e-12 {
+			t.Errorf("auto rate %v outside [%v, %v]", pt.Rate, lo, hi)
+		}
+	}
+}
+
+func TestSweepSinglePointGrid(t *testing.T) {
+	s, err := NewScenario(Quarc(16), MsgLen(16), Warmup(500), Measure(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sweep(s, SweepOptions{Points: 1, Evaluators: []Evaluator{Model{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("got %d points, want 1", len(res.Points))
+	}
+	if r := res.Points[0].Rate; math.IsNaN(r) || r <= 0 {
+		t.Fatalf("single-point auto grid rate = %v", r)
+	}
+}
+
+func TestSaturationRate(t *testing.T) {
+	s, err := NewScenario(Quarc(16), MsgLen(32), Alpha(0.05), LocalizedDests(PortL, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := SaturationRate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat <= 0 || sat >= 1.0/32 {
+		t.Fatalf("saturation rate %v out of range", sat)
+	}
+	// The model must be stable just below and saturated just above.
+	below, err := s.With(Rate(0.9 * sat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Model{}.Evaluate(below)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Saturated {
+		t.Error("model saturated below the bisected boundary")
+	}
+	above, err := s.With(Rate(1.1 * sat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = Model{}.Evaluate(above)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Saturated {
+		t.Error("model stable above the bisected boundary")
+	}
+}
+
+func TestRunSeriesTable(t *testing.T) {
+	s, err := NewScenario(Quarc(16), MsgLen(16), Alpha(0.05), Broadcast(),
+		Warmup(500), Measure(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := RunSeries("bcast", s, []float64{0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SeriesTable([]Series{series})
+	if out == "" || len(series.Points) != 1 {
+		t.Fatalf("series table empty or wrong points: %q", out)
+	}
+}

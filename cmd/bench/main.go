@@ -1,0 +1,51 @@
+// Command bench runs the noc/bench performance suite and writes a JSON
+// snapshot, so repeated runs (one per perf-relevant PR) accumulate a
+// BENCH_*.json trajectory of the simulator's throughput and allocation
+// behavior. The same cases run under `go test -bench=. ./noc/bench/`;
+// this binary exists to make machine-readable snapshots one command.
+//
+// Example:
+//
+//	bench -label pr2 -out BENCH_pr2.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"quarc/noc/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+
+	out := flag.String("out", "BENCH_noc.json", "output JSON file (empty skips the JSON snapshot)")
+	label := flag.String("label", "", "label stored in the snapshot (e.g. a PR or commit id)")
+	flag.Parse()
+
+	recs := bench.Measure(bench.Suite())
+	fmt.Printf("%-20s %14s %14s %12s\n", "case", "ns/op", "B/op", "allocs/op")
+	for _, r := range recs {
+		fmt.Printf("%-20s %14.0f %14d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		for k, v := range r.Metrics {
+			fmt.Printf("    %s = %.4g\n", k, v)
+		}
+	}
+	if *out == "" {
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.WriteJSON(f, *label, recs); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -10,6 +10,7 @@ package routing
 
 import (
 	"fmt"
+	"slices"
 
 	"quarc/internal/topology"
 )
@@ -128,6 +129,9 @@ func (s MulticastSet) Size() int {
 
 // Empty reports whether no port has any target.
 func (s MulticastSet) Empty() bool { return s.Size() == 0 }
+
+// Equal reports whether both sets mark exactly the same targets.
+func (s MulticastSet) Equal(o MulticastSet) bool { return slices.Equal(s.Bits, o.Bits) }
 
 // ActivePorts returns the ports that have at least one target.
 func (s MulticastSet) ActivePorts() []int {

@@ -5,41 +5,67 @@
 // scheduled, which makes runs fully deterministic for a fixed seed. Time is
 // a float64 number of flit-cycles; the wormhole simulator schedules channel
 // grants, header advances and tail releases as events.
+//
+// # Typed events
+//
+// Events come in two flavors. The hot path uses typed events: a small
+// tagged Event record (kind + integer argument + optional pointer payload)
+// dispatched through the engine's Handler. Scheduling a typed event copies
+// a few words into the engine's own heap storage and allocates nothing, so
+// a warmed-up event loop runs allocation-free. The generic callback form
+// (At/After with a closure) is kept as an escape hatch for tests and
+// ad-hoc callers; each closure naturally costs one allocation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a callback to run at a simulated instant. The callback receives
-// the engine so it can schedule further events.
-type Event func(e *Engine)
+// Func is a generic event callback. The callback receives the engine so it
+// can schedule further events.
+type Func func(e *Engine)
+
+// Kind tags a typed event. Kind values are defined by the Handler's owner
+// (the engine only stores and dispatches them); zero is reserved for
+// events carrying a generic callback.
+type Kind uint8
+
+// Event is one scheduled occurrence: either a typed record (Kind, Arg,
+// Data) dispatched through the engine's Handler, or a generic callback in
+// Fn. Arg carries a small integer payload such as a node or channel id;
+// Data carries an optional pointer payload (storing a pointer in an
+// interface does not allocate). When Fn is non-nil it takes precedence and
+// the typed fields are ignored.
+type Event struct {
+	Kind Kind
+	Arg  int32
+	Data any
+	Fn   Func
+}
+
+// Handler dispatches typed events. The handler is called with the engine
+// so it can schedule further events; Engine.Now is the event's time.
+type Handler interface {
+	Handle(e *Engine, ev Event)
+}
 
 type item struct {
 	t   float64
 	seq uint64
-	fn  Event
+	ev  Event
 }
 
+// eventHeap is a binary min-heap ordered by (t, seq). The sift operations
+// are inlined here rather than going through container/heap, whose
+// interface-based API boxes every pushed item into an allocation.
 type eventHeap []item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
@@ -47,6 +73,7 @@ type Engine struct {
 	now     float64
 	seq     uint64
 	heap    eventHeap
+	handler Handler
 	stopped bool
 	fired   uint64
 }
@@ -55,16 +82,24 @@ type Engine struct {
 func New() *Engine { return &Engine{} }
 
 // Reset returns the engine to its zero state — time zero, no pending
-// events, counters cleared — while keeping the allocated event heap, so
-// one engine can be reused across the points of a sweep without
-// reallocating.
+// events, counters cleared — while keeping the allocated event heap and
+// the handler, so one engine can be reused across the points of a sweep
+// without reallocating.
 func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
 	e.fired = 0
 	e.stopped = false
+	for i := range e.heap {
+		e.heap[i] = item{} // drop payload references
+	}
 	e.heap = e.heap[:0]
 }
+
+// SetHandler installs the dispatcher for typed events. Scheduling a typed
+// event on an engine without a handler is a logic error (Run panics when
+// it fires).
+func (e *Engine) SetHandler(h Handler) { e.handler = h }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() float64 { return e.now }
@@ -75,9 +110,9 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of scheduled, not-yet-fired events.
 func (e *Engine) Pending() int { return len(e.heap) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past (t <
-// Now) panics: it always indicates a logic error in the caller.
-func (e *Engine) At(t float64, fn Event) {
+// Schedule schedules ev to fire at absolute time t. Scheduling in the past
+// (t < Now) panics: it always indicates a logic error in the caller.
+func (e *Engine) Schedule(t float64, ev Event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
@@ -85,32 +120,54 @@ func (e *Engine) At(t float64, fn Event) {
 		panic("sim: scheduling event at NaN")
 	}
 	e.seq++
-	heap.Push(&e.heap, item{t: t, seq: e.seq, fn: fn})
+	e.push(item{t: t, seq: e.seq, ev: ev})
 }
 
+// At schedules fn to run at absolute time t — the generic-callback form of
+// Schedule.
+func (e *Engine) At(t float64, fn Func) { e.Schedule(t, Event{Fn: fn}) }
+
 // After schedules fn to run d time units from now.
-func (e *Engine) After(d float64, fn Event) { e.At(e.now+d, fn) }
+func (e *Engine) After(d float64, fn Func) { e.At(e.now+d, fn) }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events in time order until the event set is empty, Stop is
 // called, or simulated time would exceed horizon (events strictly beyond
-// the horizon are left unfired). It returns the time of the last fired
-// event (or the current time if none fired).
-func (e *Engine) Run(horizon float64) float64 {
+// the horizon are left unfired). Unless Stop was called, the clock is
+// advanced to the horizon on return even when pending events lie beyond
+// it, so back-to-back Run calls carve out exact, gap-free time windows.
+// It returns the current time.
+func (e *Engine) Run(horizon float64) float64 { return e.run(horizon, true) }
+
+// RunBefore is Run with an exclusive horizon: events exactly at the
+// horizon are left unfired, and unless Stop was called the clock still
+// advances to the horizon. Together with Run's inclusive horizon this
+// lets a caller carve time into exact half-open windows [a, b): run the
+// prefix with RunBefore(a), switch phase state, then Run(b) fires
+// everything in [a, b].
+func (e *Engine) RunBefore(horizon float64) float64 { return e.run(horizon, false) }
+
+func (e *Engine) run(horizon float64, inclusive bool) float64 {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		if e.heap[0].t > horizon {
+		t := e.heap[0].t
+		if t > horizon || (!inclusive && t == horizon) {
 			break
 		}
-		it := heap.Pop(&e.heap).(item)
+		it := e.pop()
 		e.now = it.t
 		e.fired++
-		it.fn(e)
+		if it.ev.Fn != nil {
+			it.ev.Fn(e)
+		} else if e.handler != nil {
+			e.handler.Handle(e, it.ev)
+		} else {
+			panic("sim: typed event fired on an engine without a handler")
+		}
 	}
-	if e.now < horizon && len(e.heap) == 0 && !math.IsInf(horizon, 1) {
-		// Advance to the horizon so repeated Run calls see monotone time.
+	if !e.stopped && e.now < horizon && !math.IsInf(horizon, 1) {
 		e.now = horizon
 	}
 	return e.now
@@ -118,3 +175,44 @@ func (e *Engine) Run(horizon float64) float64 {
 
 // RunAll executes events until none remain or Stop is called.
 func (e *Engine) RunAll() float64 { return e.Run(math.Inf(1)) }
+
+func (e *Engine) push(it item) {
+	h := append(e.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+func (e *Engine) pop() item {
+	h := e.heap
+	n := len(h) - 1
+	it := h[0]
+	h[0] = h[n]
+	h[n] = item{} // drop payload references from the vacated slot
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	e.heap = h
+	return it
+}

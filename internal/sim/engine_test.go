@@ -102,6 +102,73 @@ func TestRunAdvancesToHorizonWhenIdle(t *testing.T) {
 	}
 }
 
+// TestRunAdvancesToHorizonWithPendingBeyond is the regression test for the
+// measurement-window bug: with a sparse event set whose next event lies
+// strictly beyond the horizon, Run used to leave the clock at the last
+// fired event, so a caller slicing time into [0,W), [W,W+M) windows got a
+// first window that silently ended early.
+func TestRunAdvancesToHorizonWithPendingBeyond(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(3, func(e *Engine) { fired++ })
+	e.At(70, func(e *Engine) { fired++ })
+	if got := e.Run(10); got != 10 {
+		t.Fatalf("Run(10) returned %v, want 10 (pending event at 70 must not hold the clock at 3)", got)
+	}
+	if e.Now() != 10 || fired != 1 {
+		t.Fatalf("after Run(10): now=%v fired=%d, want now=10 fired=1", e.Now(), fired)
+	}
+	// The second window picks up exactly at the horizon and the deferred
+	// event still fires.
+	if got := e.Run(100); got != 100 {
+		t.Fatalf("Run(100) returned %v, want 100", got)
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d events total, want 2", fired)
+	}
+	// An idle engine (nothing pending at all) advances too.
+	if got := e.Run(250); got != 250 {
+		t.Fatalf("idle Run(250) returned %v, want 250", got)
+	}
+}
+
+// TestRunBeforeExcludesHorizon pins the exclusive-horizon form: an event
+// exactly at the horizon is deferred, the clock still advances, and a
+// following inclusive Run fires it — the half-open window recipe.
+func TestRunBeforeExcludesHorizon(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, tm := range []float64{3, 5, 8} {
+		tm := tm
+		e.At(tm, func(e *Engine) { fired = append(fired, tm) })
+	}
+	if got := e.RunBefore(5); got != 5 {
+		t.Fatalf("RunBefore(5) returned %v, want 5", got)
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("RunBefore(5) fired %v, want only the event at 3", fired)
+	}
+	e.Run(5)
+	if len(fired) != 2 || fired[1] != 5 {
+		t.Fatalf("Run(5) after RunBefore(5) fired %v, want the event at 5 exactly once", fired)
+	}
+}
+
+// TestStopDoesNotAdvanceToHorizon pins the other side of the horizon
+// contract: a Stop mid-run means "freeze time here" (the wormhole
+// simulator stops at saturation), not "skip to the horizon".
+func TestStopDoesNotAdvanceToHorizon(t *testing.T) {
+	e := New()
+	e.At(4, func(e *Engine) { e.Stop() })
+	e.At(6, func(e *Engine) {})
+	if got := e.Run(50); got != 4 {
+		t.Fatalf("stopped Run(50) returned %v, want 4", got)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d after Stop, want 1", e.Pending())
+	}
+}
+
 func TestStop(t *testing.T) {
 	e := New()
 	fired := 0
@@ -189,6 +256,91 @@ func TestReset(t *testing.T) {
 			t.Fatalf("same-time events not FIFO after Reset: %v", order)
 		}
 	}
+}
+
+// recordingHandler collects the typed events it dispatches.
+type recordingHandler struct {
+	kinds []Kind
+	args  []int32
+	data  []any
+	times []float64
+}
+
+func (h *recordingHandler) Handle(e *Engine, ev Event) {
+	h.kinds = append(h.kinds, ev.Kind)
+	h.args = append(h.args, ev.Arg)
+	h.data = append(h.data, ev.Data)
+	h.times = append(h.times, e.Now())
+}
+
+func TestTypedEventsDispatchThroughHandler(t *testing.T) {
+	e := New()
+	h := &recordingHandler{}
+	e.SetHandler(h)
+	payload := &recordingHandler{} // any pointer will do
+	e.Schedule(2, Event{Kind: 7, Arg: 42})
+	e.Schedule(1, Event{Kind: 3, Data: payload})
+	e.RunAll()
+	if len(h.kinds) != 2 || h.kinds[0] != 3 || h.kinds[1] != 7 {
+		t.Fatalf("dispatched kinds %v, want [3 7] in time order", h.kinds)
+	}
+	if h.args[1] != 42 {
+		t.Fatalf("Arg = %d, want 42", h.args[1])
+	}
+	if h.data[0] != payload {
+		t.Fatalf("Data payload not delivered identically")
+	}
+	if h.times[0] != 1 || h.times[1] != 2 {
+		t.Fatalf("dispatch times %v, want [1 2]", h.times)
+	}
+}
+
+// TestTypedAndFuncEventsInterleaveFIFO checks that the two event flavors
+// share one (time, sequence) order: a closure and a typed event at the
+// same instant fire in scheduling order.
+func TestTypedAndFuncEventsInterleaveFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	h := &recordingHandler{}
+	e.SetHandler(h)
+	e.Schedule(5, Event{Kind: 1, Arg: 0})
+	e.At(5, func(e *Engine) { order = append(order, len(h.kinds)) })
+	e.Schedule(5, Event{Kind: 1, Arg: 1})
+	e.RunAll()
+	// The closure fired after the first typed event and before the second.
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("closure saw %v typed events before it, want exactly 1", order)
+	}
+	if len(h.kinds) != 2 {
+		t.Fatalf("dispatched %d typed events, want 2", len(h.kinds))
+	}
+}
+
+func TestResetKeepsHandler(t *testing.T) {
+	e := New()
+	h := &recordingHandler{}
+	e.SetHandler(h)
+	e.Schedule(1, Event{Kind: 9})
+	e.Reset()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after Reset, want 0", e.Pending())
+	}
+	e.Schedule(1, Event{Kind: 4})
+	e.RunAll()
+	if len(h.kinds) != 1 || h.kinds[0] != 4 {
+		t.Fatalf("after Reset dispatched %v, want [4] (handler kept, old event dropped)", h.kinds)
+	}
+}
+
+func TestTypedEventWithoutHandlerPanics(t *testing.T) {
+	e := New()
+	e.Schedule(1, Event{Kind: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic firing a typed event without a handler")
+		}
+	}()
+	e.RunAll()
 }
 
 // Stress: many random events must fire in nondecreasing time order.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"slices"
 
 	"quarc/internal/routing"
 	"quarc/internal/topology"
@@ -79,9 +80,20 @@ type Workload struct {
 	router routing.Router
 	n      int
 	rngs   []*rand.Rand
+	// srcs are the rngs' underlying PCG sources, kept so Reset can reseed
+	// in place (a rand.Rand holds no state beyond its source).
+	srcs []*rand.PCG
 	// branches caches the multicast branches per source (the set is
-	// relative, so they are fixed for the whole run).
-	branches [][]routing.Branch
+	// relative, so they are fixed for the whole run); branchSet records
+	// the destination set the cache was built from, which can lag behind
+	// spec.Set across Resets while MulticastFrac is zero.
+	branches  [][]routing.Branch
+	branchSet routing.MulticastSet
+	// uni caches the single-branch route of every ordered unicast pair at
+	// index src*n+dst. Routes are deterministic, so precomputing them once
+	// keeps Next allocation-free on the simulator's hot path; callers must
+	// treat the returned branches as read-only (the simulator does).
+	uni [][]routing.Branch
 }
 
 // NewWorkload builds a workload over the given router. Each node gets an
@@ -92,9 +104,14 @@ func NewWorkload(router routing.Router, spec Spec, seed uint64) (*Workload, erro
 		return nil, err
 	}
 	n := router.Graph().Nodes()
-	w := &Workload{spec: spec, router: router, n: n, rngs: make([]*rand.Rand, n)}
+	if err := checkHotspot(spec, n); err != nil {
+		return nil, err
+	}
+	w := &Workload{spec: spec, router: router, n: n,
+		rngs: make([]*rand.Rand, n), srcs: make([]*rand.PCG, n)}
 	for i := 0; i < n; i++ {
-		w.rngs[i] = rand.New(rand.NewPCG(seed, uint64(i)*0x9e3779b97f4a7c15+1))
+		w.srcs[i] = rand.NewPCG(seed, uint64(i)*0x9e3779b97f4a7c15+1)
+		w.rngs[i] = rand.New(w.srcs[i])
 	}
 	if spec.MulticastFrac > 0 {
 		w.branches = make([][]routing.Branch, n)
@@ -105,12 +122,82 @@ func NewWorkload(router routing.Router, spec Spec, seed uint64) (*Workload, erro
 			}
 			w.branches[src] = b
 		}
+		// Clone the bits: MulticastSet.Add mutates in place, so keeping a
+		// reference would let a caller-side mutation defeat the Equal check.
+		w.branchSet = routing.MulticastSet{Bits: slices.Clone(spec.Set.Bits)}
+	}
+	w.uni = make([][]routing.Branch, n*n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			s, d := topology.NodeID(src), topology.NodeID(dst)
+			path, err := router.UnicastPath(s, d)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: unicast path %d->%d: %w", src, dst, err)
+			}
+			port, err := router.UnicastPort(s, d)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: unicast port %d->%d: %w", src, dst, err)
+			}
+			w.uni[src*n+dst] = []routing.Branch{{Port: port, Path: path, Targets: []topology.NodeID{d}}}
+		}
 	}
 	return w, nil
 }
 
 // Spec returns the workload specification.
 func (w *Workload) Spec() Spec { return w.spec }
+
+// Reset re-derives the workload in place for a new spec and seed over the
+// same router. The unicast route cache is always kept (routes depend only
+// on the router) and the multicast branch cache is kept whenever the
+// destination set is unchanged, so resetting a workload across the points
+// of a sweep skips the O(n²) routing work. A reset workload behaves
+// bitwise-identically to a fresh NewWorkload(router, spec, seed).
+func (w *Workload) Reset(spec Spec, seed uint64) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if err := checkHotspot(spec, w.n); err != nil {
+		return err
+	}
+	// Compare against the set the cache was actually built from, not
+	// spec.Set of the previous reset: a zero-MulticastFrac reset updates
+	// the spec without touching the cache, and the cache must not be
+	// trusted for a set it never saw.
+	if spec.MulticastFrac > 0 && (w.branches == nil || !w.branchSet.Equal(spec.Set)) {
+		branches := make([][]routing.Branch, w.n)
+		for src := 0; src < w.n; src++ {
+			b, err := w.router.MulticastBranches(topology.NodeID(src), spec.Set)
+			if err != nil {
+				return fmt.Errorf("traffic: multicast branches for node %d: %w", src, err)
+			}
+			branches[src] = b
+		}
+		w.branches = branches
+		// Clone the bits: MulticastSet.Add mutates in place, so keeping a
+		// reference would let a caller-side mutation defeat the Equal check.
+		w.branchSet = routing.MulticastSet{Bits: slices.Clone(spec.Set.Bits)}
+	}
+	w.spec = spec
+	for i := 0; i < w.n; i++ {
+		w.srcs[i].Seed(seed, uint64(i)*0x9e3779b97f4a7c15+1)
+	}
+	return nil
+}
+
+// checkHotspot rejects a hotspot destination outside the network: before
+// the unicast route cache, an out-of-range node panicked at generation
+// time; with the cache the aliased index would silently return another
+// source's route, so fail fast at construction instead.
+func checkHotspot(spec Spec, n int) error {
+	if spec.HotspotFrac > 0 && (spec.HotspotNode < 0 || int(spec.HotspotNode) >= n) {
+		return fmt.Errorf("traffic: hotspot node %d outside the %d-node network", spec.HotspotNode, n)
+	}
+	return nil
+}
 
 // Interarrival draws the exponential gap until node's next message.
 func (w *Workload) Interarrival(node topology.NodeID) float64 {
@@ -132,14 +219,7 @@ func (w *Workload) Next(node topology.NodeID) ([]routing.Branch, bool) {
 		rng.Float64() < w.spec.HotspotFrac {
 		dst = w.spec.HotspotNode
 	}
-	path, err := w.router.UnicastPath(node, dst)
-	if err != nil {
-		// Routing of a valid pair never fails; a failure here is a
-		// programming error, not a runtime condition.
-		panic(fmt.Sprintf("traffic: unicast path %d->%d: %v", node, dst, err))
-	}
-	port, _ := w.router.UnicastPort(node, dst)
-	return []routing.Branch{{Port: port, Path: path, Targets: []topology.NodeID{dst}}}, false
+	return w.uni[int(node)*w.n+int(dst)], false
 }
 
 func (w *Workload) uniformDest(rng *rand.Rand, src topology.NodeID) topology.NodeID {

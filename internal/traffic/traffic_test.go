@@ -206,3 +206,107 @@ func TestNewWorkloadRejectsBadSet(t *testing.T) {
 		t.Fatal("invalid multicast set accepted")
 	}
 }
+
+// TestWorkloadResetMatchesFresh pins the reuse property: a reset workload
+// must draw exactly the same interarrival gaps and routes as a freshly
+// built one, including across a destination-set change (which forces the
+// branch cache to rebuild) and back.
+func TestWorkloadResetMatchesFresh(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	setA, err := rt.LocalizedSet(topology.PortL, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setB := rt.BroadcastSet()
+	specs := []Spec{
+		{Rate: 0.004, MulticastFrac: 0.1, Set: setA},
+		{Rate: 0.002, MulticastFrac: 0.2, Set: setB},
+		{Rate: 0.004, MulticastFrac: 0.1, Set: setA},
+	}
+	reused, err := NewWorkload(rt, specs[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, spec := range specs {
+		seed := uint64(si + 7)
+		fresh, err := NewWorkload(rt, spec, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reused.Reset(spec, seed); err != nil {
+			t.Fatal(err)
+		}
+		for node := topology.NodeID(0); node < 16; node++ {
+			for i := 0; i < 200; i++ {
+				if g, w := reused.Interarrival(node), fresh.Interarrival(node); g != w {
+					t.Fatalf("spec %d node %d draw %d: gap %v != fresh %v", si, node, i, g, w)
+				}
+				gb, gm := reused.Next(node)
+				wb, wm := fresh.Next(node)
+				if gm != wm || len(gb) != len(wb) {
+					t.Fatalf("spec %d node %d draw %d: branches (%d,%v) != fresh (%d,%v)",
+						si, node, i, len(gb), gm, len(wb), wm)
+				}
+				for k := range gb {
+					if gb[k].Port != wb[k].Port || len(gb[k].Path) != len(wb[k].Path) ||
+						gb[k].Path[len(gb[k].Path)-1] != wb[k].Path[len(wb[k].Path)-1] {
+						t.Fatalf("spec %d node %d draw %d branch %d: route diverged", si, node, i, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkloadResetRebuildsStaleBranchCache covers the cache-invalidation
+// corner: a zero-MulticastFrac reset carries a new set in its spec without
+// rebuilding the branch cache, so a later multicast reset with that same
+// set must not trust the stale cache built for the original one.
+func TestWorkloadResetRebuildsStaleBranchCache(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	setA, err := rt.LocalizedSet(topology.PortL, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setB := rt.BroadcastSet()
+	w, err := NewWorkload(rt, Spec{Rate: 0.001, MulticastFrac: 0.1, Set: setA}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(Spec{Rate: 0.001, MulticastFrac: 0, Set: setB}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(Spec{Rate: 0.001, MulticastFrac: 0.1, Set: setB}, 3); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewWorkload(rt, Spec{Rate: 0.001, MulticastFrac: 0.1, Set: setB}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := w.MulticastBranchesOf(0), fresh.MulticastBranchesOf(0)
+	if len(got) != len(want) {
+		t.Fatalf("stale branch cache survived the set change: %d branches, fresh has %d",
+			len(got), len(want))
+	}
+}
+
+// TestWorkloadRejectsOutOfRangeHotspot pins the fail-fast behavior the
+// unicast route cache must preserve: an out-of-range hotspot destination
+// is a construction error, never a silently aliased route.
+func TestWorkloadRejectsOutOfRangeHotspot(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	bad := Spec{Rate: 0.001, HotspotFrac: 0.5, HotspotNode: 20}
+	if _, err := NewWorkload(rt, bad, 1); err == nil {
+		t.Fatal("NewWorkload accepted hotspot node 20 on a 16-node network")
+	}
+	ok, err := NewWorkload(rt, Spec{Rate: 0.001}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Reset(bad, 2); err == nil {
+		t.Fatal("Reset accepted hotspot node 20 on a 16-node network")
+	}
+	if err := ok.Reset(Spec{Rate: 0.001, HotspotFrac: 0.5, HotspotNode: 15}, 2); err != nil {
+		t.Fatalf("Reset rejected a valid hotspot: %v", err)
+	}
+}

@@ -145,9 +145,25 @@ type worm struct {
 	branch int
 	path   routing.Path
 	hop    int // index of the next channel to acquire
+	// held counts the channels the worm currently occupies and done marks
+	// that its ejection grant happened; when done && held == 0 no event or
+	// queue references the worm and it returns to the pool.
+	held int
+	done bool
 }
 
-// Network is one simulation instance. Create with New, run with Run.
+// Typed event kinds dispatched by Network.Handle. Keeping the hot path on
+// typed events (instead of one closure per event) is what makes the
+// steady-state event loop allocation-free.
+const (
+	evGenerate sim.Kind = iota + 1 // Arg = generating node
+	evRequest                      // Data = *worm requesting its next channel
+	evRelease                      // Arg = channel to release
+	evComplete                     // Data = *message, Arg = completing branch
+)
+
+// Network is one simulation instance. Create with New, run with Run, and
+// reuse across runs with Reset.
 type Network struct {
 	g               *topology.Graph
 	traffic         Traffic
@@ -162,6 +178,67 @@ type Network struct {
 	draining        bool
 	pendingMeasured int64
 	nextMsgID       int64
+	// wormPool and msgPool recycle the per-message heap objects; both only
+	// ever hold fully dead objects (no event or queue references them).
+	wormPool []*worm
+	msgPool  []*message
+}
+
+// Handle dispatches the network's typed events; it implements sim.Handler
+// and is invoked by the engine, never directly.
+func (nw *Network) Handle(e *sim.Engine, ev sim.Event) {
+	t := e.Now()
+	switch ev.Kind {
+	case evGenerate:
+		if nw.draining {
+			return
+		}
+		node := topology.NodeID(ev.Arg)
+		nw.generate(node, t)
+		nw.scheduleGeneration(node, t)
+	case evRequest:
+		nw.request(ev.Data.(*worm), t)
+	case evRelease:
+		nw.release(topology.ChannelID(ev.Arg), t)
+	case evComplete:
+		msg := ev.Data.(*message)
+		nw.trace(msg, int(ev.Arg), TraceComplete, topology.None, t)
+		nw.complete(msg, t)
+	default:
+		panic(fmt.Sprintf("wormhole: unknown event kind %d", ev.Kind))
+	}
+}
+
+func (nw *Network) getWorm(msg *message, branch int, path routing.Path) *worm {
+	if n := len(nw.wormPool); n > 0 {
+		w := nw.wormPool[n-1]
+		nw.wormPool[n-1] = nil
+		nw.wormPool = nw.wormPool[:n-1]
+		*w = worm{msg: msg, branch: branch, path: path}
+		return w
+	}
+	return &worm{msg: msg, branch: branch, path: path}
+}
+
+func (nw *Network) putWorm(w *worm) {
+	w.msg = nil
+	w.path = nil
+	nw.wormPool = append(nw.wormPool, w)
+}
+
+func (nw *Network) getMessage() *message {
+	if n := len(nw.msgPool); n > 0 {
+		m := nw.msgPool[n-1]
+		nw.msgPool[n-1] = nil
+		nw.msgPool = nw.msgPool[:n-1]
+		*m = message{}
+		return m
+	}
+	return &message{}
+}
+
+func (nw *Network) putMessage(m *message) {
+	nw.msgPool = append(nw.msgPool, m)
 }
 
 // trace appends a trace event if tracing is active and under the cap.
@@ -181,24 +258,69 @@ func (nw *Network) trace(msg *message, branch int, kind TraceKind, ch topology.C
 	})
 }
 
-// New creates a simulator over the given channel graph and traffic source.
-func New(g *topology.Graph, traffic Traffic, cfg Config) (*Network, error) {
+// checkConfig validates cfg and fills in its defaults.
+func checkConfig(cfg *Config) error {
 	if cfg.MsgLen < 2 {
-		return nil, fmt.Errorf("wormhole: message length %d too short", cfg.MsgLen)
+		return fmt.Errorf("wormhole: message length %d too short", cfg.MsgLen)
 	}
 	if cfg.Warmup < 0 || cfg.Measure <= 0 {
-		return nil, fmt.Errorf("wormhole: invalid warmup/measure %v/%v", cfg.Warmup, cfg.Measure)
+		return fmt.Errorf("wormhole: invalid warmup/measure %v/%v", cfg.Warmup, cfg.Measure)
 	}
 	if cfg.SatQueue <= 0 {
 		cfg.SatQueue = 1000
 	}
-	return &Network{
+	return nil
+}
+
+// New creates a simulator over the given channel graph and traffic source.
+func New(g *topology.Graph, traffic Traffic, cfg Config) (*Network, error) {
+	if err := checkConfig(&cfg); err != nil {
+		return nil, err
+	}
+	nw := &Network{
 		g:        g,
 		traffic:  traffic,
 		cfg:      cfg,
 		eng:      sim.New(),
 		channels: make([]channel, g.NumChannels()),
-	}, nil
+	}
+	nw.eng.SetHandler(nw)
+	return nw, nil
+}
+
+// Reset rebinds the network to a new traffic source and configuration and
+// returns it to its pre-Run state over the same channel graph, reusing the
+// engine's event heap, the channel array, the per-channel wait queues and
+// the worm/message pools. A Reset network runs bitwise-identically to a
+// freshly constructed one, so one Network can serve every point of a
+// sweep without reallocating its hot-path state.
+func (nw *Network) Reset(traffic Traffic, cfg Config) error {
+	if err := checkConfig(&cfg); err != nil {
+		return err
+	}
+	nw.traffic = traffic
+	nw.cfg = cfg
+	nw.eng.Reset()
+	for i := range nw.channels {
+		c := &nw.channels[i]
+		c.holder = nil
+		for j := range c.queue {
+			c.queue[j] = nil
+		}
+		c.queue = c.queue[:0]
+		c.grantTime = 0
+		c.busy = 0
+		c.grants = 0
+	}
+	nw.res = Result{}
+	nw.measuring = false
+	nw.measureStart = 0
+	nw.windowEnd = 0
+	nw.stopped = false
+	nw.draining = false
+	nw.pendingMeasured = 0
+	nw.nextMsgID = 0
+	return nil
 }
 
 // Run executes the simulation: Warmup cycles without statistics, then
@@ -215,7 +337,10 @@ func (nw *Network) Run() Result {
 	}
 	horizon := nw.cfg.Warmup + nw.cfg.Measure
 	nw.windowEnd = horizon
-	nw.eng.Run(nw.cfg.Warmup)
+	// The warmup horizon is exclusive so that the measurement window is
+	// half-open on both sides: an event exactly at t=Warmup belongs to
+	// [Warmup, Warmup+Measure) and must fire with measurement active.
+	nw.eng.RunBefore(nw.cfg.Warmup)
 	nw.beginMeasurement()
 	if !nw.stopped {
 		nw.eng.Run(horizon)
@@ -296,13 +421,7 @@ func (nw *Network) scheduleGeneration(node topology.NodeID, from float64) {
 	if gap < 0 || math.IsNaN(gap) {
 		panic("wormhole: negative or NaN interarrival gap")
 	}
-	nw.eng.At(from+gap, func(e *sim.Engine) {
-		if nw.draining {
-			return
-		}
-		nw.generate(node, e.Now())
-		nw.scheduleGeneration(node, e.Now())
-	})
+	nw.eng.Schedule(from+gap, sim.Event{Kind: evGenerate, Arg: int32(node)})
 }
 
 func (nw *Network) generate(node topology.NodeID, t float64) {
@@ -313,14 +432,18 @@ func (nw *Network) generate(node topology.NodeID, t float64) {
 	if len(branches) == 0 {
 		return
 	}
-	// Generation exactly at the window boundary belongs to the window.
-	measured := nw.measuring && t <= nw.windowEnd
+	// The measurement window is half-open, [measureStart, windowEnd):
+	// generation exactly at the closing boundary falls outside it, matching
+	// the grant accounting and busySpan's clamp.
+	measured := nw.measuring && t < nw.windowEnd
 	nw.nextMsgID++
-	msg := &message{
-		id: nw.nextMsgID, gen: t, multicast: multicast,
-		pending: len(branches), measured: measured,
-		traced: nw.cfg.TraceEnabled && node == nw.cfg.TraceNode,
-	}
+	msg := nw.getMessage()
+	msg.id = nw.nextMsgID
+	msg.gen = t
+	msg.multicast = multicast
+	msg.pending = len(branches)
+	msg.measured = measured
+	msg.traced = nw.cfg.TraceEnabled && node == nw.cfg.TraceNode
 	if !multicast {
 		msg.port = branches[0].Port
 		msg.depth = len(branches[0].Path) - 1
@@ -331,8 +454,7 @@ func (nw *Network) generate(node topology.NodeID, t float64) {
 	}
 	nw.trace(msg, -1, TraceGenerate, topology.None, t)
 	for i := range branches {
-		w := &worm{msg: msg, branch: i, path: branches[i].Path}
-		nw.request(w, t)
+		nw.request(nw.getWorm(msg, i, branches[i].Path), t)
 	}
 }
 
@@ -370,7 +492,11 @@ func (nw *Network) grant(w *worm, id topology.ChannelID, t float64) {
 	c := &nw.channels[id]
 	c.holder = w
 	c.grantTime = t
-	if nw.measuring && t <= nw.windowEnd {
+	w.held++
+	// Half-open window: a grant exactly at windowEnd contributes no
+	// in-window occupancy (busySpan clamps it to zero), so it must not
+	// count either — otherwise ChannelStats.Rate and MeanHold skew.
+	if nw.measuring && t < nw.windowEnd {
 		c.grants++
 	}
 	nw.trace(w.msg, w.branch, TraceGrant, id, t)
@@ -379,8 +505,7 @@ func (nw *Network) grant(w *worm, id topology.ChannelID, t float64) {
 	msgLen := nw.cfg.MsgLen
 	if i := j - msgLen + 1; i >= 0 && j < len(w.path)-1 {
 		// The tail crossed path[i] in this cycle; free it next cycle.
-		cid := w.path[i]
-		nw.eng.At(t+1, func(e *sim.Engine) { nw.release(cid, e.Now()) })
+		nw.eng.Schedule(t+1, sim.Event{Kind: evRelease, Arg: int32(w.path[i])})
 	}
 	if w.hop == len(w.path) {
 		// The header was granted the ejection channel: the message's last
@@ -393,30 +518,30 @@ func (nw *Network) grant(w *worm, id topology.ChannelID, t float64) {
 		}
 		for i := lo; i < len(w.path); i++ {
 			k := float64(len(w.path) - 1 - i)
-			cid := w.path[i]
-			nw.eng.At(te+float64(msgLen)-k, func(e *sim.Engine) { nw.release(cid, e.Now()) })
+			nw.eng.Schedule(te+float64(msgLen)-k, sim.Event{Kind: evRelease, Arg: int32(w.path[i])})
 		}
-		done := te + float64(msgLen)
-		msg := w.msg
-		branch := w.branch
-		nw.eng.At(done, func(e *sim.Engine) {
-			nw.trace(msg, branch, TraceComplete, topology.None, e.Now())
-			nw.complete(msg, e.Now())
-		})
+		w.done = true
+		nw.eng.Schedule(te+float64(msgLen),
+			sim.Event{Kind: evComplete, Arg: int32(w.branch), Data: w.msg})
 		return
 	}
-	nw.eng.At(t+1, func(e *sim.Engine) { nw.request(w, e.Now()) })
+	nw.eng.Schedule(t+1, sim.Event{Kind: evRequest, Data: w})
 }
 
 func (nw *Network) release(id topology.ChannelID, t float64) {
 	c := &nw.channels[id]
-	if c.holder == nil {
+	h := c.holder
+	if h == nil {
 		panic("wormhole: releasing a free channel")
 	}
 	if nw.measuring {
 		c.busy += nw.busySpan(c.grantTime, t)
 	}
 	c.holder = nil
+	h.held--
+	if h.done && h.held == 0 {
+		nw.putWorm(h)
+	}
 	if len(c.queue) > 0 && !nw.stopped {
 		next := 0
 		if nw.cfg.MulticastPriority {
@@ -443,28 +568,29 @@ func (nw *Network) complete(msg *message, t float64) {
 	if msg.pending > 0 {
 		return
 	}
-	if !nw.measuring || !msg.measured {
-		return
-	}
-	nw.res.Completed++
-	nw.pendingMeasured--
-	lat := msg.lastDone - msg.gen
-	if msg.multicast {
-		nw.res.Multicast.Add(lat)
-		nw.res.MulticastBM.Add(lat)
-		if nw.res.Detail != nil {
-			nw.res.Detail.MulticastHist.Add(lat)
+	if nw.measuring && msg.measured {
+		nw.res.Completed++
+		nw.pendingMeasured--
+		lat := msg.lastDone - msg.gen
+		if msg.multicast {
+			nw.res.Multicast.Add(lat)
+			nw.res.MulticastBM.Add(lat)
+			if nw.res.Detail != nil {
+				nw.res.Detail.MulticastHist.Add(lat)
+			}
+		} else {
+			nw.res.Unicast.Add(lat)
+			nw.res.UnicastBM.Add(lat)
+			if nw.res.Detail != nil {
+				nw.res.Detail.recordUnicast(msg.port, msg.depth, lat)
+			}
 		}
-	} else {
-		nw.res.Unicast.Add(lat)
-		nw.res.UnicastBM.Add(lat)
-		if nw.res.Detail != nil {
-			nw.res.Detail.recordUnicast(msg.port, msg.depth, lat)
+		if nw.draining && nw.pendingMeasured <= 0 {
+			nw.eng.Stop()
 		}
 	}
-	if nw.draining && nw.pendingMeasured <= 0 {
-		nw.eng.Stop()
-	}
+	// The last branch completed: no event or worm references msg anymore.
+	nw.putMessage(msg)
 }
 
 // Engine exposes the underlying event engine (used by tests).

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"quarc/internal/core"
+	"quarc/internal/routing"
 	"quarc/internal/topology"
 	"quarc/internal/traffic"
 	"quarc/internal/wormhole"
@@ -77,12 +78,40 @@ type Simulator struct{}
 func (Simulator) Name() string { return "simulator" }
 
 // Evaluate implements Evaluator.
-func (Simulator) Evaluate(s *Scenario) (Result, error) {
-	w, err := traffic.NewWorkload(s.router, s.spec(), s.cfg.seed)
-	if err != nil {
-		return Result{}, err
-	}
-	nw, err := wormhole.New(s.router.Graph(), w, wormhole.Config{
+func (Simulator) Evaluate(s *Scenario) (Result, error) { return simulate(s, nil) }
+
+// forkWorker implements workerForker: each Sweep worker gets its own
+// stateful copy that keeps one wormhole.Network alive across the points
+// it runs, resetting it instead of rebuilding per point.
+func (Simulator) forkWorker() Evaluator { return &pooledSimulator{} }
+
+// pooledSimulator is the per-worker form of Simulator. It is not safe for
+// concurrent use; Sweep gives each worker goroutine its own instance.
+type pooledSimulator struct {
+	Simulator
+	pool networkPool
+}
+
+// Evaluate implements Evaluator, reusing the worker's pooled network.
+func (p *pooledSimulator) Evaluate(s *Scenario) (Result, error) { return simulate(s, &p.pool) }
+
+// networkPool caches one network plus one workload and the router they
+// were built over; both are only reused while the scenario resolves to
+// the same router object (Scenario.With shares it across the points of a
+// sweep), which implies the same channel graph.
+type networkPool struct {
+	nw *wormhole.Network
+	wl *traffic.Workload
+	rt routing.Router
+}
+
+// simulate runs the wormhole simulator on the scenario. With a pool it
+// reuses the pooled network and workload via their Resets when the
+// router is unchanged — bitwise identical to a fresh build, but skipping
+// the per-point allocation and routing work — and caches what it builds
+// otherwise.
+func simulate(s *Scenario, pool *networkPool) (Result, error) {
+	cfg := wormhole.Config{
 		MsgLen:            s.cfg.msgLen,
 		Warmup:            s.cfg.warmup,
 		Measure:           s.cfg.measure,
@@ -93,9 +122,28 @@ func (Simulator) Evaluate(s *Scenario) (Result, error) {
 		TraceNode:         topology.NodeID(s.cfg.traceNode),
 		TraceLimit:        s.cfg.traceLimit,
 		MulticastPriority: s.cfg.mcPriority,
-	})
-	if err != nil {
-		return Result{}, err
+	}
+	var nw *wormhole.Network
+	if pool != nil && pool.nw != nil && pool.rt == s.router {
+		if err := pool.wl.Reset(s.spec(), s.cfg.seed); err != nil {
+			return Result{}, err
+		}
+		if err := pool.nw.Reset(pool.wl, cfg); err != nil {
+			return Result{}, err
+		}
+		nw = pool.nw
+	} else {
+		w, err := traffic.NewWorkload(s.router, s.spec(), s.cfg.seed)
+		if err != nil {
+			return Result{}, err
+		}
+		nw, err = wormhole.New(s.router.Graph(), w, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		if pool != nil {
+			pool.nw, pool.wl, pool.rt = nw, w, s.router
+		}
 	}
 	r := nw.Run()
 	res := Result{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"quarc/internal/experiments"
 )
@@ -140,21 +141,36 @@ func Sweep(s *Scenario, o SweepOptions) (SweepResult, error) {
 
 	points := make([]SweepPoint, len(jobs))
 	errs := make([]error, len(jobs))
-	ch := make(chan int)
+	// The job channel is buffered with every index up front and closed
+	// before the workers start, so the feed can never block: a worker that
+	// dies mid-job (it shouldn't — runPoint recovers panics) cannot
+	// deadlock the sweep. On the first error the remaining queued jobs are
+	// skipped so a broken sweep fails fast.
+	ch := make(chan int, len(jobs))
+	for i := range jobs {
+		ch <- i
+	}
+	close(ch)
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker gets its own evaluator instances so stateful
+			// evaluators (Simulator's reusable network) never race.
+			evs := workerEvaluators(evals)
 			for i := range ch {
-				points[i], errs[i] = runPoint(s, jobs[i].msgLen, jobs[i].rate, evals)
+				if failed.Load() {
+					continue
+				}
+				points[i], errs[i] = runPoint(s, jobs[i].msgLen, jobs[i].rate, evs)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}
-	for i := range jobs {
-		ch <- i
-	}
-	close(ch)
 	wg.Wait()
 
 	for i, err := range errs {
@@ -167,12 +183,40 @@ func Sweep(s *Scenario, o SweepOptions) (SweepResult, error) {
 	return out, nil
 }
 
-func runPoint(s *Scenario, msgLen int, rate float64, evals []Evaluator) (SweepPoint, error) {
+// workerForker is implemented by evaluators that want a private, stateful
+// instance per Sweep worker (e.g. Simulator, which keeps a reusable
+// network). Stateless evaluators are shared as-is.
+type workerForker interface {
+	forkWorker() Evaluator
+}
+
+// workerEvaluators returns the evaluator list for one worker goroutine,
+// forking the evaluators that carry per-worker state.
+func workerEvaluators(evals []Evaluator) []Evaluator {
+	out := make([]Evaluator, len(evals))
+	for i, ev := range evals {
+		if f, ok := ev.(workerForker); ok {
+			out[i] = f.forkWorker()
+		} else {
+			out[i] = ev
+		}
+	}
+	return out
+}
+
+func runPoint(s *Scenario, msgLen int, rate float64, evals []Evaluator) (pt SweepPoint, err error) {
+	// A panicking evaluator must not kill the process (and with it the
+	// whole sweep): surface it as the point's error instead.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("evaluator panicked: %v", r)
+		}
+	}()
 	sp, err := s.With(MsgLen(msgLen), Rate(rate))
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	pt := SweepPoint{MsgLen: msgLen, Rate: rate}
+	pt = SweepPoint{MsgLen: msgLen, Rate: rate}
 	for _, ev := range evals {
 		r, err := ev.Evaluate(sp)
 		if err != nil {

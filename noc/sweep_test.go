@@ -3,8 +3,12 @@ package noc
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestSweepExplicitRates(t *testing.T) {
@@ -119,6 +123,119 @@ func TestSweepSinglePointGrid(t *testing.T) {
 	}
 	if r := res.Points[0].Rate; math.IsNaN(r) || r <= 0 {
 		t.Fatalf("single-point auto grid rate = %v", r)
+	}
+}
+
+// faultyEvaluator fails or panics at a chosen rate and counts evaluations.
+type faultyEvaluator struct {
+	mu      sync.Mutex
+	evals   int
+	badRate float64
+	doPanic bool
+}
+
+func (f *faultyEvaluator) Name() string { return "faulty" }
+
+func (f *faultyEvaluator) Evaluate(s *Scenario) (Result, error) {
+	f.mu.Lock()
+	f.evals++
+	f.mu.Unlock()
+	if s.Rate() == f.badRate {
+		if f.doPanic {
+			panic("faulty evaluator exploded")
+		}
+		return Result{}, errors.New("faulty evaluator failed")
+	}
+	return Result{Evaluator: "faulty", Unicast: 1}, nil
+}
+
+// TestSweepEvaluatorError pins the pool's failure path: an evaluator error
+// must surface (with the failing point identified), not hang the sweep,
+// and the remaining queued jobs must be skipped after the first failure.
+func TestSweepEvaluatorError(t *testing.T) {
+	s, err := NewScenario(Quarc(16), MsgLen(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := []float64{0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008}
+	f := &faultyEvaluator{badRate: rates[0]}
+	// One worker makes the early-cancel deterministic: the first job fails,
+	// so exactly one evaluation may happen before the rest are skipped.
+	_, err = Sweep(s, SweepOptions{Rates: rates, Workers: 1, Evaluators: []Evaluator{f}})
+	if err == nil {
+		t.Fatal("sweep with a failing evaluator returned no error")
+	}
+	if !strings.Contains(err.Error(), "rate=0.001") {
+		t.Errorf("error does not identify the failing point: %v", err)
+	}
+	if f.evals != 1 {
+		t.Errorf("%d points evaluated after an immediate failure, want 1 (early-cancel)", f.evals)
+	}
+}
+
+// TestSweepEvaluatorPanic pins the deadlock fix: before the buffered job
+// feed, a panicking evaluator killed its worker goroutine while the feeder
+// blocked forever on the unbuffered channel (and the panic itself killed
+// the process). Now the panic is recovered into the point's error.
+func TestSweepEvaluatorPanic(t *testing.T) {
+	s, err := NewScenario(Quarc(16), MsgLen(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := []float64{0.001, 0.002, 0.003, 0.004, 0.005}
+	f := &faultyEvaluator{badRate: rates[2], doPanic: true}
+	done := make(chan struct{})
+	var serr error
+	go func() {
+		defer close(done)
+		_, serr = Sweep(s, SweepOptions{Rates: rates, Workers: 2, Evaluators: []Evaluator{f}})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep with a panicking evaluator did not return (deadlocked feed)")
+	}
+	if serr == nil {
+		t.Fatal("sweep with a panicking evaluator returned no error")
+	}
+	if !strings.Contains(serr.Error(), "panicked") {
+		t.Errorf("panic not surfaced in the error: %v", serr)
+	}
+}
+
+// TestSweepPoolsNetworkPerWorker checks that the per-worker network reuse
+// actually engages and stays bitwise-faithful: a single worker running
+// every point through one reused network must match per-point fresh
+// evaluation exactly.
+func TestSweepPoolsNetworkPerWorker(t *testing.T) {
+	s, err := NewScenario(Quarc(16), MsgLen(16), Alpha(0.05), LocalizedDests(PortL, 3),
+		Warmup(1000), Measure(10000), Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := []float64{0.001, 0.002, 0.004}
+	res, err := Sweep(s, SweepOptions{Rates: rates, Workers: 1, Evaluators: []Evaluator{Simulator{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rate := range rates {
+		sp, err := s.With(Rate(rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Simulator{}.Evaluate(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := res.Points[i].Get("simulator")
+		if !ok {
+			t.Fatalf("point %d missing simulator result", i)
+		}
+		if got.Unicast != want.Unicast || got.Events != want.Events ||
+			got.Completed != want.Completed || got.MaxUtil != want.MaxUtil {
+			t.Errorf("point %d: pooled sweep result diverged from fresh evaluation:\n got %+v\nwant %+v",
+				i, got, want)
+		}
 	}
 }
 

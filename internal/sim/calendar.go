@@ -1,0 +1,459 @@
+package sim
+
+import "math"
+
+// calQueue is a calendar-queue pending-event set (Brown 1988, adapted): a
+// wrapping ring of time buckets, each covering `width` cycles, where an
+// event at time t lives in slot floor(t/width) mod nbuckets. Events up to
+// horizonYears ring laps ahead share the ring; only true far-future
+// outliers go to an overflow binary heap and migrate in as the clock
+// approaches them. Bucket geometry adapts to the observed event-time
+// distribution, giving O(1) amortized schedule and pop where the binary
+// heap pays O(log n) sifts.
+//
+// Deviations from the textbook structure, chosen for exact determinism
+// and for the wormhole simulator's workload shape:
+//
+//   - Each bucket is kept sorted by (time, seq) behind a head cursor, so
+//     the pop order is a pure function of the keys — bucket geometry can
+//     never reorder events. The due-day check inspects only the bucket
+//     head (the sorted order puts the earliest lap first), making pop
+//     O(1); insertion bubbles from the tail. Same-instant event bursts
+//     arrive in increasing seq and therefore insert in O(1); a degenerate
+//     distribution (everything at one instant) turns the structure into a
+//     plain FIFO instead of an O(n) scan per pop.
+//   - Resizing samples the stored event times and keys the bucket width
+//     off the median inter-event gap, which is robust against far-future
+//     outliers; the outliers themselves sit in the overflow heap, which
+//     is the binary-heap fallback path (see DESIGN.md §9).
+type calQueue struct {
+	buckets  []bucket
+	width    float64 // time span of one bucket (one "day")
+	invWidth float64 // 1/width, cached: day indexing multiplies, never divides
+	mask     int64   // len(buckets)-1; len is a power of two
+	day      int64   // current day floor(now/width); no stored event is earlier
+	count    int     // events stored in buckets (excludes overflow)
+
+	// horizonDays = horizonYears * len(buckets): events at or beyond
+	// day+horizonDays go to the overflow heap — the heap fallback for
+	// far-future horizons.
+	horizonDays int64
+	overflow    eventHeap
+
+	// growAt/shrinkAt are the hysteresis thresholds of the resize policy,
+	// derived from the bucket count at the last rebuild. churn counts
+	// overflow insertions since the last rebuild: a geometry whose
+	// horizon misses the workload's scheduling lookahead (e.g. learned
+	// during a startup transient) churns events through the overflow
+	// heap, and crossing churnAt forces a rebuild whose width sample then
+	// sees those far times.
+	growAt   int
+	shrinkAt int
+	churn    int
+	churnAt  int
+
+	// resizes counts geometry rebuilds (exposed for tests/instrumentation).
+	resizes uint64
+
+	scratch []item // reused during rebuilds
+	// bucketStore is the allocated backing of buckets; rebuilds that fit
+	// within its capacity (shrinks, re-grows after a shrink) reslice it
+	// instead of allocating, keeping geometry churn GC-quiet.
+	bucketStore []bucket
+}
+
+// bucket is one calendar slot: items[head:] sorted ascending by (t, seq).
+type bucket struct {
+	head  int
+	items []item
+}
+
+const (
+	calMinBuckets = 16
+	calMaxBuckets = 1 << 20
+	// horizonYears bounds how many ring laps may share the buckets: a
+	// deeper horizon keeps more of the schedule out of the overflow heap,
+	// a shallower one keeps buckets purer. Four laps covers the wormhole
+	// workload's generation lookahead with single-digit bucket occupancy.
+	horizonYears = 4
+	// calMaxDay bounds day indices so pathological width/time ratios
+	// cannot overflow int64 arithmetic; times beyond it use the overflow
+	// heap.
+	calMaxDay = int64(1) << 59
+)
+
+func (q *calQueue) len() int { return q.count + len(q.overflow) }
+
+// dayOf maps a time to its day index. It must stay one fixed monotone
+// function of t between geometry rebuilds — insert and pop both key off
+// it, so any disagreement would strand an event in a never-probed slot.
+func (q *calQueue) dayOf(t float64) int64 {
+	d := t * q.invWidth
+	if d >= float64(calMaxDay) {
+		return calMaxDay
+	}
+	return int64(d)
+}
+
+// setWidth installs a bucket width and its cached reciprocal.
+func (q *calQueue) setWidth(w float64) {
+	q.width = w
+	q.invWidth = 1 / w
+}
+
+// init sets the initial geometry. now lower-bounds every future push.
+func (q *calQueue) init(now float64) {
+	q.makeBuckets(calMinBuckets)
+	q.setWidth(1)
+	q.day = q.dayOf(now)
+	q.growAt = 2 * calMinBuckets
+	q.shrinkAt = 0 // never shrink below the minimum geometry
+	q.churnAt = 2 * calMinBuckets
+}
+
+// hint installs a caller-provided initial geometry (see
+// Engine.HintSchedule). Only an empty queue accepts it: a live one
+// already has a learned geometry worth more than the guess.
+func (q *calQueue) hint(span float64, pending int, now float64) {
+	if q.len() > 0 {
+		return
+	}
+	nb := calMinBuckets
+	for nb < pending && nb < calMaxBuckets {
+		nb <<= 1
+	}
+	q.makeBuckets(nb)
+	q.setWidth(span / float64(nb))
+	q.day = q.dayOf(now)
+	q.growAt = 2 * nb
+	q.shrinkAt = nb / 4
+	if nb == calMinBuckets {
+		q.shrinkAt = 0
+	}
+	q.churn = 0
+	q.churnAt = 4 * nb
+}
+
+// makeBuckets builds a bucket array over one flat item arena: two
+// allocations per geometry rebuild instead of one per bucket, so a fresh
+// network's first run doesn't pay hundreds of slice-growth allocations.
+// Buckets that outgrow their arena segment reallocate individually (the
+// three-index slice caps them against overlap).
+func (q *calQueue) makeBuckets(nb int) {
+	const seg = 8
+	if cap(q.bucketStore) >= nb {
+		q.buckets = q.bucketStore[:nb]
+	} else {
+		q.bucketStore = make([]bucket, nb)
+		q.buckets = q.bucketStore
+		flat := make([]item, nb*seg)
+		for i := range q.buckets {
+			q.buckets[i].items = flat[i*seg : i*seg : (i+1)*seg]
+		}
+	}
+	q.mask = int64(nb - 1)
+	q.horizonDays = horizonYears * int64(nb)
+}
+
+// push inserts it; now is the engine clock, a lower bound for it.t used
+// to anchor the geometry.
+func (q *calQueue) push(it item, now float64) {
+	if q.buckets == nil {
+		q.init(now)
+	}
+	if q.len() >= q.growAt || q.churn >= q.churnAt {
+		q.resize()
+	}
+	q.insert(it)
+}
+
+// insert places it into its ring slot or the overflow heap.
+func (q *calQueue) insert(it item) {
+	d := q.dayOf(it.t)
+	if d >= q.day+q.horizonDays {
+		q.overflow.push(it)
+		q.churn++
+		return
+	}
+	if d < q.day {
+		// The walk advanced to a popped event's day, but the engine
+		// deferred that event at a Run horizon and the clock stayed
+		// behind; a later push may land on an earlier day. Rewind: pop
+		// compares real (t, seq) keys, so this costs a re-walk of empty
+		// days, never a reorder.
+		q.day = d
+	}
+	b := &q.buckets[d&q.mask]
+	if len(b.items) == cap(b.items) && b.head > 0 {
+		// The bucket is a FIFO ring: pops advance head while inserts
+		// append. Compact the dead head space instead of growing — a slot
+		// fed by a steady event chain would otherwise reallocate every
+		// ring lap.
+		n := copy(b.items, b.items[b.head:])
+		for j := n; j < len(b.items); j++ {
+			b.items[j] = item{} // drop payload references
+		}
+		b.items = b.items[:n]
+		b.head = 0
+	}
+	b.items = append(b.items, it)
+	// Bubble toward the head to keep the bucket sorted. Same-time events
+	// arrive in increasing seq, so the common case is zero moves.
+	for i := len(b.items) - 1; i > b.head; i-- {
+		if !lessItem(b.items[i], b.items[i-1]) {
+			break
+		}
+		b.items[i], b.items[i-1] = b.items[i-1], b.items[i]
+	}
+	q.count++
+}
+
+func lessItem(a, b item) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// migrate moves overflow events that entered the ring horizon (the
+// current day advanced toward them) into their buckets.
+func (q *calQueue) migrate() {
+	for len(q.overflow) > 0 && q.dayOf(q.overflow[0].t) < q.day+q.horizonDays {
+		q.insert(q.overflow.pop())
+	}
+}
+
+// pop removes and returns the earliest (t, seq) event.
+func (q *calQueue) pop() (item, bool) {
+	if q.len() == 0 {
+		return item{}, false
+	}
+	if q.shrinkAt > 0 && q.len() < q.shrinkAt {
+		// The population collapsed well below the geometry; rebuild
+		// smaller.
+		q.resize()
+	}
+	if len(q.overflow) > 0 {
+		if q.count == 0 {
+			// Everything lies beyond the ring horizon: jump to it.
+			q.day = q.dayOf(q.overflow[0].t)
+		}
+		q.migrate()
+	}
+	steps := 0
+	for {
+		b := &q.buckets[q.day&q.mask]
+		if b.head < len(b.items) {
+			// The head is the bucket minimum; if it is due today it is
+			// the global minimum (earlier days are exhausted, later days
+			// cannot precede it).
+			if it := b.items[b.head]; q.dayOf(it.t) == q.day {
+				b.items[b.head] = item{} // drop payload references
+				b.head++
+				if b.head == len(b.items) {
+					b.items = b.items[:0]
+					b.head = 0
+				}
+				q.count--
+				return it, true
+			}
+		}
+		q.day++
+		steps++
+		if steps >= len(q.buckets) {
+			// A whole lap without a due event: the schedule is sparse
+			// here. Jump straight to the earliest stored day. Walks
+			// between jumps are bounded by one lap (< horizonDays), so
+			// the walk can never pass an overflow event's day before the
+			// migrate below pulls it in.
+			q.day = q.minBucketDay()
+			q.migrate()
+			steps = 0
+		}
+	}
+}
+
+// minBucketDay returns the earliest due day over all buckets; the caller
+// guarantees count > 0.
+func (q *calQueue) minBucketDay() int64 {
+	min := int64(math.MaxInt64)
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		if b.head < len(b.items) {
+			if d := q.dayOf(b.items[b.head].t); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
+// resize rebuilds the geometry around the current population: the bucket
+// count follows the population, and the width follows the median gap of a
+// sample of stored event times (robust to far-future outliers, which stay
+// in the overflow heap).
+func (q *calQueue) resize() {
+	n := q.len()
+	// Target ~1 event per bucket at rebuild time (drifting toward ~2
+	// before growAt re-triggers): dense buckets stay cache-resident and
+	// the sorted-insert bubble is still a compare or two.
+	nb := calMinBuckets
+	for nb < n && nb < calMaxBuckets {
+		nb <<= 1
+	}
+
+	// The rebuilt day numbering must lower-bound every stored and future
+	// time; the start of the current day does both (now lies within it).
+	anchor := float64(q.day) * q.width
+
+	// Collect every stored item.
+	all := q.scratch[:0]
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		all = append(all, b.items[b.head:]...)
+		b.items = b.items[:0]
+		b.head = 0
+	}
+	all = append(all, q.overflow...)
+	q.overflow = q.overflow[:0]
+	q.count = 0
+
+	width := q.sampleWidth(all, nb)
+	if nb != len(q.buckets) {
+		q.makeBuckets(nb)
+	}
+	q.setWidth(width)
+	q.day = q.dayOf(anchor)
+	q.growAt = 2 * nb
+	q.shrinkAt = nb / 4
+	if nb == calMinBuckets {
+		q.shrinkAt = 0
+	}
+	q.churn = 0
+	q.churnAt = 4 * nb
+	q.resizes++
+
+	for _, it := range all {
+		q.insert(it)
+	}
+	// Retain the gather buffer only at moderate sizes so one huge run
+	// doesn't pin the scratch space.
+	for i := range all {
+		all[i] = item{}
+	}
+	if cap(all) <= 1<<15 {
+		q.scratch = all[:0]
+	} else {
+		q.scratch = nil
+	}
+}
+
+// sampleWidth estimates a bucket width from up to 64 sampled times: the
+// median inter-event gap, floored so the ring span covers ~4x the
+// 75th-percentile spread of the sample. The gap term adapts to dense
+// schedules; the span floor keeps a bimodal distribution (a dense
+// near-term cluster plus mid-range lookahead, the wormhole simulator's
+// shape) from shrinking the ring until everything churns through the
+// overflow heap. A degenerate sample (all events at one instant) keeps
+// the current width: same-instant bursts share a bucket regardless,
+// where the sorted-bucket representation makes them O(1) anyway.
+func (q *calQueue) sampleWidth(all []item, nb int) float64 {
+	const maxSample = 64
+	n := len(all)
+	if n < 2 {
+		return q.width
+	}
+	// Ceiling stride: the sample must span the whole gather (near bucket
+	// items first, overflow tail last), or the learned width never sees
+	// the far cluster it is supposed to cover.
+	stride := (n + maxSample - 1) / maxSample
+	var sample [maxSample]float64
+	k := 0
+	hi := 0.0
+	for i := 0; i < n && k < maxSample; i += stride {
+		sample[k] = all[i].t
+		if all[i].t > hi {
+			hi = all[i].t
+		}
+		k++
+	}
+	s := sample[:k]
+	// Insertion sort: k <= 64.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	gaps := make([]float64, 0, maxSample)
+	for i := 1; i < len(s); i++ {
+		if g := s[i] - s[i-1]; g > 0 && !math.IsInf(g, 1) {
+			gaps = append(gaps, g)
+		}
+	}
+	if len(gaps) == 0 {
+		return q.width
+	}
+	// Median positive gap; gaps is small, sort in place.
+	for i := 1; i < len(gaps); i++ {
+		for j := i; j > 0 && gaps[j] < gaps[j-1]; j-- {
+			gaps[j], gaps[j-1] = gaps[j-1], gaps[j]
+		}
+	}
+	w := 2 * gaps[len(gaps)/2]
+	if span := (s[(len(s)-1)*3/4] - s[0]) * 4 / float64(nb); span > w {
+		w = span
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 1) {
+		return q.width
+	}
+	// Keep day indices far from int64 overflow even for tiny widths over
+	// large time scales.
+	if lo := hi / 1e15; w < lo {
+		w = lo
+	}
+	return w
+}
+
+// reset empties the queue, dropping payload references while keeping the
+// learned geometry (geometry affects only speed, never order). Storage
+// grossly over-grown by a past run is released: buckets and the overflow
+// heap above maxRetain items are freed so a single huge run does not pin
+// memory for the rest of a sweep.
+func (q *calQueue) reset(maxRetain int) {
+	if q.buckets == nil {
+		return
+	}
+	total := 0
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		for j := b.head; j < len(b.items); j++ {
+			b.items[j] = item{}
+		}
+		total += cap(b.items)
+		b.items = b.items[:0]
+		b.head = 0
+	}
+	if total > maxRetain || cap(q.bucketStore) > calMaxRetainedBuckets {
+		// Re-initialized lazily with the default geometry.
+		q.buckets = nil
+		q.bucketStore = nil
+		q.setWidth(1)
+	}
+	for i := range q.overflow {
+		q.overflow[i] = item{}
+	}
+	if cap(q.overflow) > maxRetain {
+		q.overflow = nil
+	} else {
+		q.overflow = q.overflow[:0]
+	}
+	if cap(q.scratch) > maxRetain {
+		q.scratch = nil
+	}
+	q.day = 0
+	q.count = 0
+	q.churn = 0
+}
+
+// calMaxRetainedBuckets bounds the bucket-array size kept across Reset.
+const calMaxRetainedBuckets = 1 << 12

@@ -11,10 +11,20 @@
 // Events come in two flavors. The hot path uses typed events: a small
 // tagged Event record (kind + integer argument + optional pointer payload)
 // dispatched through the engine's Handler. Scheduling a typed event copies
-// a few words into the engine's own heap storage and allocates nothing, so
+// a few words into the engine's own event storage and allocates nothing, so
 // a warmed-up event loop runs allocation-free. The generic callback form
 // (At/After with a closure) is kept as an escape hatch for tests and
 // ad-hoc callers; each closure naturally costs one allocation.
+//
+// # Schedulers
+//
+// The pending-event set has two implementations behind the same Engine
+// API. The default is a calendar queue (bucketed time ring with an
+// overflow heap) with O(1) amortized schedule and pop; NewWithHeap selects
+// the plain binary heap, retained as the simpler fallback and as the
+// oracle for differential tests. Both order events identically by
+// (time, sequence), so which scheduler runs is invisible in the results —
+// only in the throughput.
 package sim
 
 import (
@@ -58,7 +68,8 @@ type item struct {
 
 // eventHeap is a binary min-heap ordered by (t, seq). The sift operations
 // are inlined here rather than going through container/heap, whose
-// interface-based API boxes every pushed item into an allocation.
+// interface-based API boxes every pushed item into an allocation. It backs
+// the heap-scheduler mode and the calendar queue's far-future overflow.
 type eventHeap []item
 
 func (h eventHeap) less(i, j int) bool {
@@ -68,23 +79,80 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-// Engine is a discrete-event scheduler. The zero value is ready to use.
+func (h *eventHeap) push(it item) {
+	hh := append(*h, it)
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hh.less(i, parent) {
+			break
+		}
+		hh[i], hh[parent] = hh[parent], hh[i]
+		i = parent
+	}
+	*h = hh
+}
+
+func (h *eventHeap) pop() item {
+	hh := *h
+	n := len(hh) - 1
+	it := hh[0]
+	hh[0] = hh[n]
+	hh[n] = item{} // drop payload references from the vacated slot
+	hh = hh[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && hh.less(r, l) {
+			j = r
+		}
+		if !hh.less(j, i) {
+			break
+		}
+		hh[i], hh[j] = hh[j], hh[i]
+		i = j
+	}
+	*h = hh
+	return it
+}
+
+// maxRetainedEvents caps the event storage (heap slots or calendar bucket
+// slots) an Engine keeps across Reset: a single saturated run can grow the
+// pending set enormously, and retaining all of it would pin that memory
+// for every later point of a sweep.
+const maxRetainedEvents = 1 << 15
+
+// Engine is a discrete-event scheduler. The zero value is ready to use and
+// runs on the calendar-queue scheduler.
 type Engine struct {
 	now     float64
 	seq     uint64
+	useHeap bool
 	heap    eventHeap
+	cal     calQueue
 	handler Handler
 	stopped bool
 	fired   uint64
 }
 
-// New returns an empty engine at time zero.
+// New returns an empty engine at time zero, backed by the calendar-queue
+// scheduler.
 func New() *Engine { return &Engine{} }
 
+// NewWithHeap returns an empty engine backed by the binary-heap scheduler:
+// the simpler fallback, and the oracle the calendar queue is
+// differential-tested against. Event ordering is identical to New's.
+func NewWithHeap() *Engine { return &Engine{useHeap: true} }
+
 // Reset returns the engine to its zero state — time zero, no pending
-// events, counters cleared — while keeping the allocated event heap and
+// events, counters cleared — while keeping the allocated event storage and
 // the handler, so one engine can be reused across the points of a sweep
-// without reallocating.
+// without reallocating. Storage grossly over-grown by a past run (beyond
+// maxRetainedEvents) is released instead of retained.
 func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
@@ -93,7 +161,12 @@ func (e *Engine) Reset() {
 	for i := range e.heap {
 		e.heap[i] = item{} // drop payload references
 	}
-	e.heap = e.heap[:0]
+	if cap(e.heap) > maxRetainedEvents {
+		e.heap = nil
+	} else {
+		e.heap = e.heap[:0]
+	}
+	e.cal.reset(maxRetainedEvents)
 }
 
 // SetHandler installs the dispatcher for typed events. Scheduling a typed
@@ -108,7 +181,21 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of scheduled, not-yet-fired events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int {
+	if e.useHeap {
+		return len(e.heap)
+	}
+	return e.cal.len()
+}
+
+// SchedulerName identifies the active pending-event structure ("calendar"
+// or "heap") for logs and benchmark labels.
+func (e *Engine) SchedulerName() string {
+	if e.useHeap {
+		return "heap"
+	}
+	return "calendar"
+}
 
 // Schedule schedules ev to fire at absolute time t. Scheduling in the past
 // (t < Now) panics: it always indicates a logic error in the caller.
@@ -121,6 +208,46 @@ func (e *Engine) Schedule(t float64, ev Event) {
 	}
 	e.seq++
 	e.push(item{t: t, seq: e.seq, ev: ev})
+}
+
+// HintSchedule pre-sizes the calendar scheduler for a workload expected
+// to keep roughly `pending` events in flight, scheduled up to roughly
+// `span` time units ahead. A good hint skips the geometry-learning
+// rebuilds a fresh engine otherwise pays during its first few thousand
+// events; a bad one is corrected by the adaptive resize policy. The hint
+// is purely about speed — event order never depends on geometry — and is
+// ignored by the heap scheduler and by engines with pending events.
+func (e *Engine) HintSchedule(span float64, pending int) {
+	if e.useHeap || pending <= 0 || span <= 0 || math.IsNaN(span) || math.IsInf(span, 1) {
+		return
+	}
+	e.cal.hint(span, pending, e.now)
+}
+
+// ReserveSeq consumes the next n sequence numbers and returns the first,
+// without scheduling anything. An event-coalescing layer (the wormhole
+// simulator's span drains) reserves the sequence range its micro-events
+// would have occupied, then schedules the few events it does materialize
+// into those slots via ScheduleSeq: same-time tie-breaking — and with it
+// the whole run — stays bitwise identical to the uncoalesced schedule.
+func (e *Engine) ReserveSeq(n int) uint64 {
+	base := e.seq + 1
+	e.seq += uint64(n)
+	return base
+}
+
+// ScheduleSeq schedules ev at absolute time t under an explicit sequence
+// number previously obtained from ReserveSeq. Reusing a live sequence
+// number is a logic error (two events would tie exactly); the engine does
+// not check for it.
+func (e *Engine) ScheduleSeq(t float64, seq uint64, ev Event) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN")
+	}
+	e.push(item{t: t, seq: seq, ev: ev})
 }
 
 // At schedules fn to run at absolute time t — the generic-callback form of
@@ -151,12 +278,26 @@ func (e *Engine) RunBefore(horizon float64) float64 { return e.run(horizon, fals
 
 func (e *Engine) run(horizon float64, inclusive bool) float64 {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		t := e.heap[0].t
-		if t > horizon || (!inclusive && t == horizon) {
+	for !e.stopped {
+		// The scheduler dispatch is open-coded here (rather than through
+		// e.pop) to keep one call and one item copy out of the hot loop.
+		var it item
+		if e.useHeap {
+			if len(e.heap) == 0 {
+				break
+			}
+			it = e.heap.pop()
+		} else {
+			var ok bool
+			if it, ok = e.cal.pop(); !ok {
+				break
+			}
+		}
+		if it.t > horizon || (!inclusive && it.t == horizon) {
+			// Beyond this run's window: put it back for a later Run.
+			e.push(it)
 			break
 		}
-		it := e.pop()
 		e.now = it.t
 		e.fired++
 		if it.ev.Fn != nil {
@@ -177,42 +318,9 @@ func (e *Engine) run(horizon float64, inclusive bool) float64 {
 func (e *Engine) RunAll() float64 { return e.Run(math.Inf(1)) }
 
 func (e *Engine) push(it item) {
-	h := append(e.heap, it)
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
+	if e.useHeap {
+		e.heap.push(it)
+		return
 	}
-	e.heap = h
-}
-
-func (e *Engine) pop() item {
-	h := e.heap
-	n := len(h) - 1
-	it := h[0]
-	h[0] = h[n]
-	h[n] = item{} // drop payload references from the vacated slot
-	h = h[:n]
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		j := l
-		if r := l + 1; r < n && h.less(r, l) {
-			j = r
-		}
-		if !h.less(j, i) {
-			break
-		}
-		h[i], h[j] = h[j], h[i]
-		i = j
-	}
-	e.heap = h
-	return it
+	e.cal.push(it, e.now)
 }

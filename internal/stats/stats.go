@@ -112,6 +112,50 @@ func (r Running) String() string {
 		r.n, r.Mean(), r.Std(), r.Min(), r.Max())
 }
 
+// Replicates combines the point estimates of independent simulation
+// replications into a grand mean and a confidence half-width. Each
+// replication contributes one observation (its own mean), which is IID
+// across replications by construction — the textbook independent-
+// replications method, giving tighter and less biased intervals than
+// batch means over a single run. NaN observations (a replication that
+// recorded no samples, e.g. multicast latency at alpha = 0) are skipped
+// and counted separately.
+type Replicates struct {
+	runs    Running
+	skipped int64
+}
+
+// Add records one replication's point estimate; NaN marks a replication
+// with no samples and is skipped.
+func (r *Replicates) Add(x float64) {
+	if math.IsNaN(x) {
+		r.skipped++
+		return
+	}
+	r.runs.Add(x)
+}
+
+// N returns the number of replications with a usable estimate.
+func (r *Replicates) N() int64 { return r.runs.N() }
+
+// Skipped returns the number of NaN replications.
+func (r *Replicates) Skipped() int64 { return r.skipped }
+
+// Mean returns the grand mean over replications, or NaN if none
+// contributed.
+func (r *Replicates) Mean() float64 { return r.runs.Mean() }
+
+// HalfWidth returns the half-width of the confidence interval for the
+// mean at the given z value (e.g. 1.96 for 95%): z * s / sqrt(n) over the
+// replication estimates. NaN with fewer than two replications.
+func (r *Replicates) HalfWidth(z float64) float64 {
+	n := r.runs.N()
+	if n < 2 {
+		return math.NaN()
+	}
+	return z * r.runs.Std() / math.Sqrt(float64(n))
+}
+
 // BatchMeans estimates a confidence interval for the mean of a correlated
 // stationary series (such as successive message latencies) using the method
 // of non-overlapping batch means.

@@ -286,3 +286,34 @@ func TestRunningMeanBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReplicates(t *testing.T) {
+	var r Replicates
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.HalfWidth(1.96)) {
+		t.Fatal("empty Replicates should report NaN mean and half-width")
+	}
+	for _, x := range []float64{10, 12, 14} {
+		r.Add(x)
+	}
+	r.Add(math.NaN())
+	if r.N() != 3 || r.Skipped() != 1 {
+		t.Fatalf("N=%d skipped=%d, want 3 and 1", r.N(), r.Skipped())
+	}
+	if got := r.Mean(); got != 12 {
+		t.Fatalf("mean = %v, want 12", got)
+	}
+	// s = 2 over 3 reps: half-width = z * 2 / sqrt(3).
+	want := 1.96 * 2 / math.Sqrt(3)
+	if got := r.HalfWidth(1.96); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("half-width = %v, want %v", got, want)
+	}
+
+	var one Replicates
+	one.Add(5)
+	if !math.IsNaN(one.HalfWidth(1.96)) {
+		t.Fatal("single replication must have NaN half-width")
+	}
+	if one.Mean() != 5 {
+		t.Fatalf("single replication mean = %v, want 5", one.Mean())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"slices"
+	"sync"
 
 	"quarc/internal/routing"
 	"quarc/internal/topology"
@@ -114,19 +115,48 @@ func NewWorkload(router routing.Router, spec Spec, seed uint64) (*Workload, erro
 		w.rngs[i] = rand.New(w.srcs[i])
 	}
 	if spec.MulticastFrac > 0 {
-		w.branches = make([][]routing.Branch, n)
-		for src := 0; src < n; src++ {
-			b, err := router.MulticastBranches(topology.NodeID(src), spec.Set)
-			if err != nil {
-				return nil, fmt.Errorf("traffic: multicast branches for node %d: %w", src, err)
-			}
-			w.branches[src] = b
+		b, err := multicastTable(router, spec.Set)
+		if err != nil {
+			return nil, err
 		}
+		w.branches = b
 		// Clone the bits: MulticastSet.Add mutates in place, so keeping a
 		// reference would let a caller-side mutation defeat the Equal check.
 		w.branchSet = routing.MulticastSet{Bits: slices.Clone(spec.Set.Bits)}
 	}
-	w.uni = make([][]routing.Branch, n*n)
+	uni, err := unicastTable(router)
+	if err != nil {
+		return nil, err
+	}
+	w.uni = uni
+	return w, nil
+}
+
+// Route-table caches. Routes are a pure function of the (immutable)
+// router, so every workload over the same router — every point of a
+// sweep, every replication — shares one read-only table instead of
+// re-deriving it. Keys are router identities, which a long-lived process
+// can mint without bound (every noc.NewScenario resolves a fresh
+// router), so both caches flush wholesale when they exceed
+// maxCachedTables entries: a flush only costs recomputation, never
+// correctness.
+var (
+	routeMu         sync.Mutex
+	unicastTables   = map[routing.Router][][]routing.Branch{}
+	multicastTables = map[multicastKey][][]routing.Branch{}
+)
+
+const maxCachedTables = 64
+
+func unicastTable(router routing.Router) ([][]routing.Branch, error) {
+	routeMu.Lock()
+	if t, ok := unicastTables[router]; ok {
+		routeMu.Unlock()
+		return t, nil
+	}
+	routeMu.Unlock()
+	n := router.Graph().Nodes()
+	uni := make([][]routing.Branch, n*n)
 	for src := 0; src < n; src++ {
 		for dst := 0; dst < n; dst++ {
 			if src == dst {
@@ -141,10 +171,59 @@ func NewWorkload(router routing.Router, spec Spec, seed uint64) (*Workload, erro
 			if err != nil {
 				return nil, fmt.Errorf("traffic: unicast port %d->%d: %w", src, dst, err)
 			}
-			w.uni[src*n+dst] = []routing.Branch{{Port: port, Path: path, Targets: []topology.NodeID{d}}}
+			uni[src*n+dst] = []routing.Branch{{Port: port, Path: path, Targets: []topology.NodeID{d}}}
 		}
 	}
-	return w, nil
+	routeMu.Lock()
+	if len(unicastTables) >= maxCachedTables {
+		unicastTables = map[routing.Router][][]routing.Branch{}
+	}
+	unicastTables[router] = uni
+	routeMu.Unlock()
+	return uni, nil
+}
+
+// multicastKey identifies a multicast branch table: the router plus the
+// destination-set bits.
+type multicastKey struct {
+	router routing.Router
+	bits   string
+}
+
+func setKey(router routing.Router, set routing.MulticastSet) multicastKey {
+	var b []byte
+	for _, w := range set.Bits {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(w>>s))
+		}
+	}
+	return multicastKey{router: router, bits: string(b)}
+}
+
+func multicastTable(router routing.Router, set routing.MulticastSet) ([][]routing.Branch, error) {
+	key := setKey(router, set)
+	routeMu.Lock()
+	if t, ok := multicastTables[key]; ok {
+		routeMu.Unlock()
+		return t, nil
+	}
+	routeMu.Unlock()
+	n := router.Graph().Nodes()
+	branches := make([][]routing.Branch, n)
+	for src := 0; src < n; src++ {
+		b, err := router.MulticastBranches(topology.NodeID(src), set)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: multicast branches for node %d: %w", src, err)
+		}
+		branches[src] = b
+	}
+	routeMu.Lock()
+	if len(multicastTables) >= maxCachedTables {
+		multicastTables = map[multicastKey][][]routing.Branch{}
+	}
+	multicastTables[key] = branches
+	routeMu.Unlock()
+	return branches, nil
 }
 
 // Spec returns the workload specification.
@@ -168,15 +247,11 @@ func (w *Workload) Reset(spec Spec, seed uint64) error {
 	// the spec without touching the cache, and the cache must not be
 	// trusted for a set it never saw.
 	if spec.MulticastFrac > 0 && (w.branches == nil || !w.branchSet.Equal(spec.Set)) {
-		branches := make([][]routing.Branch, w.n)
-		for src := 0; src < w.n; src++ {
-			b, err := w.router.MulticastBranches(topology.NodeID(src), spec.Set)
-			if err != nil {
-				return fmt.Errorf("traffic: multicast branches for node %d: %w", src, err)
-			}
-			branches[src] = b
+		b, err := multicastTable(w.router, spec.Set)
+		if err != nil {
+			return err
 		}
-		w.branches = branches
+		w.branches = b
 		// Clone the bits: MulticastSet.Add mutates in place, so keeping a
 		// reference would let a caller-side mutation defeat the Equal check.
 		w.branchSet = routing.MulticastSet{Bits: slices.Clone(spec.Set.Bits)}

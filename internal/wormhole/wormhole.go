@@ -87,6 +87,11 @@ type Config struct {
 	// connection-oriented NoC multicast (the paper's reference [4]); the
 	// paper's own validation uses pure FIFO, the default.
 	MulticastPriority bool
+	// NoCoalesce disables worm-level event coalescing, forcing one event
+	// per flit-step as in the pre-coalescing simulator. Coalescing is
+	// semantically exact (see DESIGN.md §10), so this knob exists for
+	// differential tests and performance comparisons, not for fidelity.
+	NoCoalesce bool
 }
 
 // Result summarizes a run.
@@ -106,7 +111,10 @@ type Result struct {
 	Saturated bool
 	// Time is the simulated time at the end of the run.
 	Time float64
-	// Events is the number of discrete events executed.
+	// Events is the number of flit-level-equivalent discrete events: a
+	// coalesced span event (see DESIGN.md §10) counts once per micro-event
+	// it absorbs, so the figure is identical with coalescing on or off
+	// and stays comparable across the BENCH_*.json trajectory.
 	Events uint64
 	// MaxUtil is the highest channel utilization observed during the
 	// measurement window.
@@ -124,6 +132,12 @@ type channel struct {
 	grantTime float64
 	busy      float64
 	grants    int64
+	// spanRelease and spanSeq are the precomputed logical release time of
+	// the channel and the reserved event sequence number of that release
+	// while the holder is in span (coalesced-drain) mode; meaningful only
+	// when holder != nil && holder.spanning.
+	spanRelease float64
+	spanSeq     uint64
 }
 
 type message struct {
@@ -150,6 +164,13 @@ type worm struct {
 	// queue references the worm and it returns to the pool.
 	held int
 	done bool
+	// spanning marks a worm draining in coalesced span mode: its remaining
+	// channel releases are deferred to their precomputed times (each
+	// channel's spanRelease) and applied lazily, by one evSpanDone event,
+	// or by a materialized evRelease when contention de-coalesces a
+	// channel. A spanning worm is referenced by its pending evSpanDone and
+	// must not return to the pool before that event fires.
+	spanning bool
 }
 
 // Typed event kinds dispatched by Network.Handle. Keeping the hot path on
@@ -160,6 +181,8 @@ const (
 	evRequest                      // Data = *worm requesting its next channel
 	evRelease                      // Arg = channel to release
 	evComplete                     // Data = *message, Arg = completing branch
+	evAdvance                      // Data = *worm: fused tail-release + header-request
+	evSpanDone                     // Data = *worm finishing a coalesced drain
 )
 
 // Network is one simulation instance. Create with New, run with Run, and
@@ -178,6 +201,10 @@ type Network struct {
 	draining        bool
 	pendingMeasured int64
 	nextMsgID       int64
+	// coalesced counts micro-events absorbed into coalesced events (span
+	// drains, fused advances, lazily applied releases), so Result.Events
+	// can report flit-level-equivalent event counts.
+	coalesced uint64
 	// wormPool and msgPool recycle the per-message heap objects; both only
 	// ever hold fully dead objects (no event or queue references them).
 	wormPool []*worm
@@ -204,6 +231,18 @@ func (nw *Network) Handle(e *sim.Engine, ev sim.Event) {
 		msg := ev.Data.(*message)
 		nw.trace(msg, int(ev.Arg), TraceComplete, topology.None, t)
 		nw.complete(msg, t)
+	case evAdvance:
+		// Fused micro-events of a stretched worm: the tail vacated the
+		// channel msgLen positions behind the header in the previous
+		// cycle; free it, then request the header's next channel. The two
+		// were scheduled back to back in the fine-grained simulator, so
+		// fusing them preserves the exact event order.
+		w := ev.Data.(*worm)
+		nw.release(w.path[w.hop-nw.cfg.MsgLen], t)
+		nw.coalesced++
+		nw.request(w, t)
+	case evSpanDone:
+		nw.spanDone(ev.Data.(*worm), t)
 	default:
 		panic(fmt.Sprintf("wormhole: unknown event kind %d", ev.Kind))
 	}
@@ -285,6 +324,11 @@ func New(g *topology.Graph, traffic Traffic, cfg Config) (*Network, error) {
 		channels: make([]channel, g.NumChannels()),
 	}
 	nw.eng.SetHandler(nw)
+	// Seed the scheduler geometry with the workload's shape — a few
+	// events in flight per node, scheduled up to a few message-drain
+	// times ahead — instead of paying the learning transient every
+	// construction. The adaptive resize corrects any mismatch.
+	nw.eng.HintSchedule(float64(cfg.MsgLen)*8, g.Nodes()*4)
 	return nw, nil
 }
 
@@ -311,6 +355,7 @@ func (nw *Network) Reset(traffic Traffic, cfg Config) error {
 		c.grantTime = 0
 		c.busy = 0
 		c.grants = 0
+		c.spanRelease = 0
 	}
 	nw.res = Result{}
 	nw.measuring = false
@@ -320,6 +365,7 @@ func (nw *Network) Reset(traffic Traffic, cfg Config) error {
 	nw.draining = false
 	nw.pendingMeasured = 0
 	nw.nextMsgID = 0
+	nw.coalesced = 0
 	return nil
 }
 
@@ -360,6 +406,10 @@ func (nw *Network) Run() Result {
 func (nw *Network) beginMeasurement() {
 	nw.measuring = true
 	nw.measureStart = nw.eng.Now()
+	// Channels whose deferred span release lies before the window must not
+	// be counted as occupied into it — the fine-grained release event
+	// would have fired during warmup.
+	nw.flushSpans(nw.measureStart)
 	for i := range nw.channels {
 		c := &nw.channels[i]
 		c.busy = 0
@@ -370,10 +420,18 @@ func (nw *Network) beginMeasurement() {
 	}
 }
 
-// busySpan clamps a holding interval to the measurement window.
+// busySpan clamps a holding interval to the measurement window. The
+// clamps are open-coded: math.Max/Min pay for NaN handling on a very hot
+// accounting path that never sees NaN.
 func (nw *Network) busySpan(grant, release float64) float64 {
-	lo := math.Max(grant, nw.measureStart)
-	hi := math.Min(release, nw.windowEnd)
+	lo := grant
+	if nw.measureStart > lo {
+		lo = nw.measureStart
+	}
+	hi := release
+	if nw.windowEnd < hi {
+		hi = nw.windowEnd
+	}
 	if hi <= lo {
 		return 0
 	}
@@ -382,7 +440,11 @@ func (nw *Network) busySpan(grant, release float64) float64 {
 
 func (nw *Network) finish() {
 	nw.res.Time = nw.eng.Now()
-	nw.res.Events = nw.eng.Fired()
+	// Deferred releases that logically happened before the end of the run
+	// must be applied so the utilization accounting below sees their true
+	// release times (their evSpanDone may lie beyond the horizon).
+	nw.flushSpans(nw.res.Time)
+	nw.res.Events = nw.eng.Fired() + nw.coalesced
 	window := math.Min(nw.res.Time, nw.windowEnd) - nw.measureStart
 	if window <= 0 {
 		window = 1
@@ -466,6 +528,20 @@ func (nw *Network) request(w *worm, t float64) {
 		nw.grant(w, id, t)
 		return
 	}
+	if h := c.holder; h.spanning && len(c.queue) == 0 {
+		if c.spanRelease <= t {
+			// The holder's tail logically vacated this channel at
+			// spanRelease; the release was deferred because nobody needed
+			// the channel until now. Apply it, then grant.
+			nw.releaseSpanned(c)
+			nw.grant(w, id, t)
+			return
+		}
+		// Genuinely still held: de-coalesce this channel by materializing
+		// its release event — in its reserved sequence slot, restoring
+		// exact fine-grained arbitration for the worms queuing behind it.
+		nw.eng.ScheduleSeq(c.spanRelease, c.spanSeq, sim.Event{Kind: evRelease, Arg: int32(id)})
+	}
 	nw.trace(w.msg, w.branch, TraceBlocked, id, t)
 	c.queue = append(c.queue, w)
 	if nw.g.Channel(id).Kind == topology.Injection && len(c.queue) > nw.cfg.SatQueue {
@@ -503,10 +579,6 @@ func (nw *Network) grant(w *worm, id topology.ChannelID, t float64) {
 	j := w.hop // index of the channel just granted
 	w.hop++
 	msgLen := nw.cfg.MsgLen
-	if i := j - msgLen + 1; i >= 0 && j < len(w.path)-1 {
-		// The tail crossed path[i] in this cycle; free it next cycle.
-		nw.eng.Schedule(t+1, sim.Event{Kind: evRelease, Arg: int32(w.path[i])})
-	}
 	if w.hop == len(w.path) {
 		// The header was granted the ejection channel: the message's last
 		// flit is absorbed at t + msgLen. Drain the channels the worm
@@ -516,16 +588,125 @@ func (nw *Network) grant(w *worm, id topology.ChannelID, t float64) {
 		if lo < 0 {
 			lo = 0
 		}
+		w.done = true
+		if !nw.cfg.NoCoalesce {
+			nw.spanStart(w, lo, te)
+			return
+		}
 		for i := lo; i < len(w.path); i++ {
 			k := float64(len(w.path) - 1 - i)
 			nw.eng.Schedule(te+float64(msgLen)-k, sim.Event{Kind: evRelease, Arg: int32(w.path[i])})
 		}
-		w.done = true
 		nw.eng.Schedule(te+float64(msgLen),
 			sim.Event{Kind: evComplete, Arg: int32(w.branch), Data: w.msg})
 		return
 	}
+	if i := j - msgLen + 1; i >= 0 {
+		// The tail crossed path[i] in this cycle; free it next cycle —
+		// fused with the header's next request into one advance event
+		// unless coalescing is off.
+		if nw.cfg.NoCoalesce {
+			nw.eng.Schedule(t+1, sim.Event{Kind: evRelease, Arg: int32(w.path[i])})
+		} else {
+			// Reserve both micro-event slots (release + request) so the
+			// sequence counter advances exactly as in fine-grained mode.
+			seq := nw.eng.ReserveSeq(2)
+			nw.eng.ScheduleSeq(t+1, seq, sim.Event{Kind: evAdvance, Data: w})
+			return
+		}
+	}
 	nw.eng.Schedule(t+1, sim.Event{Kind: evRequest, Data: w})
+}
+
+// spanStart begins a coalesced drain at the worm's ejection grant (time
+// te): instead of one release event per held channel, channels that
+// already have waiters get their release materialized as a real event
+// (fine-grained arbitration is preserved exactly), while uncontended
+// channels merely record their future release time in spanRelease. One
+// evSpanDone event at te+msgLen — when the message's last flit is
+// absorbed — applies the outstanding releases in closed form and
+// completes the message. Requests that hit a deferred channel in the
+// meantime de-coalesce it (see request).
+func (nw *Network) spanStart(w *worm, lo int, te float64) {
+	msgLen := float64(nw.cfg.MsgLen)
+	last := len(w.path) - 1
+	// Reserve the sequence range the fine-grained drain would have used
+	// (one release per held channel plus the completion), so any release
+	// materialized later ties exactly where its fine-grained counterpart
+	// would have — the coalesced schedule stays bitwise identical.
+	seq := nw.eng.ReserveSeq(len(w.path) - lo + 1)
+	for i := lo; i < len(w.path); i++ {
+		id := w.path[i]
+		c := &nw.channels[id]
+		rt := te + msgLen - float64(last-i)
+		sq := seq + uint64(i-lo)
+		if len(c.queue) > 0 {
+			nw.eng.ScheduleSeq(rt, sq, sim.Event{Kind: evRelease, Arg: int32(id)})
+			continue
+		}
+		c.spanRelease = rt
+		c.spanSeq = sq
+	}
+	w.spanning = true
+	nw.eng.ScheduleSeq(te+msgLen, seq+uint64(len(w.path)-lo), sim.Event{Kind: evSpanDone, Data: w})
+}
+
+// releaseSpanned applies a spanning worm's deferred channel release with
+// the occupancy accounting the fine-grained release event would have done
+// at the recorded time c.spanRelease. The channel's queue is empty by
+// construction: a queued worm would have forced a materialized release
+// event instead.
+func (nw *Network) releaseSpanned(c *channel) {
+	h := c.holder
+	if nw.measuring {
+		c.busy += nw.busySpan(c.grantTime, c.spanRelease)
+	}
+	c.holder = nil
+	h.held--
+	nw.coalesced++
+}
+
+// spanDone finishes a coalesced drain: the message's last flit was
+// absorbed at t, every channel the worm still holds is released at its
+// recorded time, and the branch completes — micro-events the fine-grained
+// simulator would have fired one by one.
+func (nw *Network) spanDone(w *worm, t float64) {
+	lo := len(w.path) - nw.cfg.MsgLen
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < len(w.path); i++ {
+		c := &nw.channels[w.path[i]]
+		if c.holder != w || len(c.queue) > 0 {
+			// Already released (lazily, or by a materialized release
+			// event), possibly re-granted — or a materialized release is
+			// still pending at exactly t and must do the arbitration.
+			continue
+		}
+		nw.releaseSpanned(c)
+	}
+	w.spanning = false
+	nw.trace(w.msg, w.branch, TraceComplete, topology.None, t)
+	nw.complete(w.msg, t)
+	if w.held == 0 {
+		nw.putWorm(w)
+	}
+	// Otherwise a materialized release pending at exactly t still
+	// references the worm's channels; release() pools it when the last
+	// hold drops.
+}
+
+// flushSpans applies every deferred span release whose logical time lies
+// strictly before t, so measurement-boundary and end-of-run accounting
+// see the true release times rather than the pending evSpanDone.
+func (nw *Network) flushSpans(t float64) {
+	for i := range nw.channels {
+		c := &nw.channels[i]
+		h := c.holder
+		if h != nil && h.spanning && len(c.queue) == 0 && c.spanRelease < t {
+			nw.releaseSpanned(c)
+		}
+	}
 }
 
 func (nw *Network) release(id topology.ChannelID, t float64) {
@@ -539,7 +720,9 @@ func (nw *Network) release(id topology.ChannelID, t float64) {
 	}
 	c.holder = nil
 	h.held--
-	if h.done && h.held == 0 {
+	if h.done && h.held == 0 && !h.spanning {
+		// A spanning worm is still referenced by its pending evSpanDone
+		// event; spanDone pools it instead.
 		nw.putWorm(h)
 	}
 	if len(c.queue) > 0 && !nw.stopped {

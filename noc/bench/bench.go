@@ -11,6 +11,7 @@ import (
 	"io"
 	"runtime"
 	"testing"
+	"time"
 
 	"quarc/internal/routing"
 	"quarc/internal/sim"
@@ -45,13 +46,17 @@ type Report struct {
 	Cases     []Record `json:"cases"`
 }
 
-// Suite returns the benchmark cases in a fixed order.
+// Suite returns the benchmark cases in a fixed order. The first four
+// names match the PR 2 baseline so `cmd/bench -baseline` can diff them;
+// later cases extend the suite (replication fan-out, sweep scaling).
 func Suite() []Case {
 	return []Case{
 		{Name: "Engine", Run: benchEngine},
 		{Name: "NetworkRun/fresh", Run: benchNetworkRunFresh},
 		{Name: "NetworkRun/reuse", Run: benchNetworkRunReuse},
 		{Name: "Sweep", Run: benchSweep},
+		{Name: "Replications", Run: benchReplications},
+		{Name: "SweepScaling", Run: benchSweepScaling},
 	}
 }
 
@@ -190,6 +195,69 @@ func reportEventRate(b *testing.B, events uint64) {
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(events)/s, "events/sec")
 	}
+}
+
+// benchReplications fans 8 seeded replications of one simulator point
+// across GOMAXPROCS workers — the Replications/Parallelism scenario path.
+func benchReplications(b *testing.B) {
+	s, err := noc.NewScenario(
+		noc.Quarc(16), noc.MsgLen(32), noc.Rate(0.004), noc.Alpha(0.05),
+		noc.LocalizedDests(noc.PortL, 4),
+		noc.Warmup(1000), noc.Measure(10000), noc.Seed(7),
+		noc.Replications(8),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := noc.Simulator{}.Evaluate(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += r.Events
+	}
+	b.StopTimer()
+	reportEventRate(b, events)
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// benchSweepScaling runs one 4-point x 4-replication simulator sweep
+// serially and with GOMAXPROCS workers per iteration, reporting the
+// wall-clock speedup — the sweep-scaling trajectory metric.
+func benchSweepScaling(b *testing.B) {
+	s, err := noc.NewScenario(
+		noc.Quarc(16), noc.MsgLen(32), noc.Alpha(0.05), noc.LocalizedDests(noc.PortL, 4),
+		noc.Warmup(1000), noc.Measure(10000), noc.Seed(7),
+		noc.Replications(4),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates := []float64{0.001, 0.002, 0.003, 0.004}
+	sims := []noc.Evaluator{noc.Simulator{}}
+	workers := runtime.GOMAXPROCS(0)
+	var serial, parallel time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := noc.Sweep(s, noc.SweepOptions{Rates: rates, Workers: 1, Evaluators: sims}); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if _, err := noc.Sweep(s, noc.SweepOptions{Rates: rates, Workers: workers, Evaluators: sims}); err != nil {
+			b.Fatal(err)
+		}
+		serial += t1.Sub(t0)
+		parallel += time.Since(t1)
+	}
+	b.StopTimer()
+	if parallel > 0 {
+		b.ReportMetric(float64(serial)/float64(parallel), "speedup")
+	}
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // benchSweep runs a small model+simulator sweep per iteration, exercising

@@ -19,6 +19,10 @@ func BenchmarkNetworkRun(b *testing.B) {
 
 func BenchmarkSweep(b *testing.B) { benchSweep(b) }
 
+func BenchmarkReplications(b *testing.B) { benchReplications(b) }
+
+func BenchmarkSweepScaling(b *testing.B) { benchSweepScaling(b) }
+
 func TestSuiteNamesAreUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for _, c := range Suite() {

@@ -77,8 +77,15 @@ type Simulator struct{}
 // Name implements Evaluator.
 func (Simulator) Name() string { return "simulator" }
 
-// Evaluate implements Evaluator.
-func (Simulator) Evaluate(s *Scenario) (Result, error) { return simulate(s, nil) }
+// Evaluate implements Evaluator. With Replications(n > 1) it fans the
+// replications out over Parallelism(k) workers and aggregates their
+// results (see replication.go); otherwise it runs the scenario once.
+func (Simulator) Evaluate(s *Scenario) (Result, error) { return simulateReplicated(s, nil) }
+
+// evaluateRep implements replicator: one seeded replication.
+func (Simulator) evaluateRep(s *Scenario, rep int) (Result, error) {
+	return simulate(s, nil, repSeed(s.cfg.seed, rep))
+}
 
 // forkWorker implements workerForker: each Sweep worker gets its own
 // stateful copy that keeps one wormhole.Network alive across the points
@@ -93,7 +100,14 @@ type pooledSimulator struct {
 }
 
 // Evaluate implements Evaluator, reusing the worker's pooled network.
-func (p *pooledSimulator) Evaluate(s *Scenario) (Result, error) { return simulate(s, &p.pool) }
+func (p *pooledSimulator) Evaluate(s *Scenario) (Result, error) {
+	return simulateReplicated(s, &p.pool)
+}
+
+// evaluateRep implements replicator over the worker's pooled network.
+func (p *pooledSimulator) evaluateRep(s *Scenario, rep int) (Result, error) {
+	return simulate(s, &p.pool, repSeed(s.cfg.seed, rep))
+}
 
 // networkPool caches one network plus one workload and the router they
 // were built over; both are only reused while the scenario resolves to
@@ -105,12 +119,13 @@ type networkPool struct {
 	rt routing.Router
 }
 
-// simulate runs the wormhole simulator on the scenario. With a pool it
+// simulate runs the wormhole simulator on the scenario under an explicit
+// seed (the scenario seed, or a replication-derived one). With a pool it
 // reuses the pooled network and workload via their Resets when the
 // router is unchanged — bitwise identical to a fresh build, but skipping
 // the per-point allocation and routing work — and caches what it builds
 // otherwise.
-func simulate(s *Scenario, pool *networkPool) (Result, error) {
+func simulate(s *Scenario, pool *networkPool, seed uint64) (Result, error) {
 	cfg := wormhole.Config{
 		MsgLen:            s.cfg.msgLen,
 		Warmup:            s.cfg.warmup,
@@ -125,7 +140,7 @@ func simulate(s *Scenario, pool *networkPool) (Result, error) {
 	}
 	var nw *wormhole.Network
 	if pool != nil && pool.nw != nil && pool.rt == s.router {
-		if err := pool.wl.Reset(s.spec(), s.cfg.seed); err != nil {
+		if err := pool.wl.Reset(s.spec(), seed); err != nil {
 			return Result{}, err
 		}
 		if err := pool.nw.Reset(pool.wl, cfg); err != nil {
@@ -133,7 +148,7 @@ func simulate(s *Scenario, pool *networkPool) (Result, error) {
 		}
 		nw = pool.nw
 	} else {
-		w, err := traffic.NewWorkload(s.router, s.spec(), s.cfg.seed)
+		w, err := traffic.NewWorkload(s.router, s.spec(), seed)
 		if err != nil {
 			return Result{}, err
 		}

@@ -33,7 +33,11 @@ type Result struct {
 
 	// Simulator-only fields.
 
-	// UnicastCI and MulticastCI are 95% batch-means half-widths.
+	// Replications is the number of independent seeded replications
+	// aggregated into this result; zero or one means a single run.
+	Replications int
+	// UnicastCI and MulticastCI are 95% half-widths: batch means within
+	// the run for a single run, across-replication otherwise.
 	UnicastCI   float64
 	MulticastCI float64
 	// UnicastN and MulticastN count the measured messages per class;
@@ -66,6 +70,7 @@ type jsonResult struct {
 	Iterations    int          `json:"iterations,omitempty"`
 	Converged     bool         `json:"converged,omitempty"`
 	Branches      []BranchInfo `json:"branches,omitempty"`
+	Replications  int          `json:"replications,omitempty"`
 	UnicastCI     *float64     `json:"unicast_ci95,omitempty"`
 	MulticastCI   *float64     `json:"multicast_ci95,omitempty"`
 	UnicastN      int64        `json:"unicast_messages,omitempty"`
@@ -104,6 +109,7 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		Iterations:    r.Iterations,
 		Converged:     r.Converged,
 		Branches:      r.Branches,
+		Replications:  r.Replications,
 		UnicastCI:     jsonNum(r.UnicastCI),
 		MulticastCI:   jsonNum(r.MulticastCI),
 		UnicastN:      r.UnicastN,
@@ -134,6 +140,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		Iterations:    jr.Iterations,
 		Converged:     jr.Converged,
 		Branches:      jr.Branches,
+		Replications:  jr.Replications,
 		UnicastCI:     fromJSONNum(jr.UnicastCI),
 		MulticastCI:   fromJSONNum(jr.MulticastCI),
 		UnicastN:      jr.UnicastN,

@@ -68,6 +68,8 @@ type config struct {
 	traceEnabled bool
 	traceNode    int
 	traceLimit   int
+	replications int
+	parallelism  int
 }
 
 // Option mutates a scenario configuration. Options are applied in order;
@@ -307,6 +309,37 @@ func Trace(node, limit int) Option {
 		cfg.traceEnabled = true
 		cfg.traceNode = node
 		cfg.traceLimit = limit
+		return nil
+	}
+}
+
+// Replications sets the number of independent seeded replications the
+// simulator runs per evaluation (default 1). Each replication r derives
+// its seed deterministically from the scenario seed (replication 0 uses
+// the scenario seed itself, so Replications(1) is bitwise-identical to
+// the single-run path). Their per-run means are aggregated into one
+// Result — mean latencies with across-replication confidence intervals,
+// summed counts — by the independent-replications method. The analytical
+// model ignores this option (it is deterministic).
+func Replications(n int) Option {
+	return func(cfg *config) error {
+		if n < 1 {
+			return fmt.Errorf("noc: replications %d < 1", n)
+		}
+		cfg.replications = n
+		return nil
+	}
+}
+
+// Parallelism bounds the worker goroutines used to run replications of a
+// single Evaluate call (default, and any k <= 0: GOMAXPROCS). The
+// aggregated Result is bitwise-identical for every k — replication
+// results are combined in replication order, not completion order. Inside
+// a Sweep the option is advisory only: the sweep schedules every
+// (point, replication) pair on its own shared worker pool.
+func Parallelism(k int) Option {
+	return func(cfg *config) error {
+		cfg.parallelism = k
 		return nil
 	}
 }

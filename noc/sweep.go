@@ -71,8 +71,13 @@ func SaturationRate(s *Scenario) (float64, error) {
 
 // Sweep evaluates the scenario across a rate (and optionally message-size)
 // grid with a bounded worker pool, running every evaluator at every point.
-// It generalizes the figure-panel sweep: any scenario, any evaluator set,
-// deterministic results in input order.
+// When the scenario carries Replications(n), every (point, replication)
+// pair becomes one job on the same shared pool — replications of one
+// point and different points interleave freely across workers — and each
+// point's replications are aggregated in replication order, so results
+// are deterministic for any worker count. It generalizes the figure-panel
+// sweep: any scenario, any evaluator set, deterministic results in input
+// order.
 func Sweep(s *Scenario, o SweepOptions) (SweepResult, error) {
 	evals := o.Evaluators
 	if len(evals) == 0 {
@@ -82,17 +87,21 @@ func Sweep(s *Scenario, o SweepOptions) (SweepResult, error) {
 	if len(msgLens) == 0 {
 		msgLens = []int{s.cfg.msgLen}
 	}
+	reps := s.cfg.replications
+	if reps < 1 {
+		reps = 1
+	}
 
 	out := SweepResult{Topology: s.cfg.topoName, Set: s.SetString()}
 
-	// Build the job grid. With explicit rates the grid is the plain cross
-	// product; otherwise each message length gets its own grid scaled to
-	// its saturation rate.
-	type job struct {
+	// Build the point grid. With explicit rates the grid is the plain
+	// cross product; otherwise each message length gets its own grid
+	// scaled to its saturation rate.
+	type pointSpec struct {
 		msgLen int
 		rate   float64
 	}
-	var jobs []job
+	var specs []pointSpec
 	for _, msgLen := range msgLens {
 		rates := o.Rates
 		if len(rates) == 0 {
@@ -127,7 +136,28 @@ func Sweep(s *Scenario, o SweepOptions) (SweepResult, error) {
 			}
 		}
 		for _, rate := range rates {
-			jobs = append(jobs, job{msgLen: msgLen, rate: rate})
+			specs = append(specs, pointSpec{msgLen: msgLen, rate: rate})
+		}
+	}
+
+	// One job per (point, replication). Replication 0 runs every
+	// evaluator; higher replications run only the replicating ones (the
+	// deterministic Model would just repeat itself).
+	type job struct {
+		point, rep int
+	}
+	jobs := make([]job, 0, len(specs)*reps)
+	for p := range specs {
+		for r := 0; r < reps; r++ {
+			jobs = append(jobs, job{point: p, rep: r})
+		}
+	}
+	// raw[point][eval][rep] holds every run's result before aggregation.
+	raw := make([][][]Result, len(specs))
+	for p := range raw {
+		raw[p] = make([][]Result, len(evals))
+		for e := range evals {
+			raw[p][e] = make([]Result, reps)
 		}
 	}
 
@@ -139,11 +169,10 @@ func Sweep(s *Scenario, o SweepOptions) (SweepResult, error) {
 		workers = len(jobs)
 	}
 
-	points := make([]SweepPoint, len(jobs))
 	errs := make([]error, len(jobs))
 	// The job channel is buffered with every index up front and closed
 	// before the workers start, so the feed can never block: a worker that
-	// dies mid-job (it shouldn't — runPoint recovers panics) cannot
+	// dies mid-job (it shouldn't — runJob recovers panics) cannot
 	// deadlock the sweep. On the first error the remaining queued jobs are
 	// skipped so a broken sweep fails fast.
 	ch := make(chan int, len(jobs))
@@ -164,7 +193,8 @@ func Sweep(s *Scenario, o SweepOptions) (SweepResult, error) {
 				if failed.Load() {
 					continue
 				}
-				points[i], errs[i] = runPoint(s, jobs[i].msgLen, jobs[i].rate, evs)
+				j := jobs[i]
+				errs[i] = runJob(s, specs[j.point].msgLen, specs[j.point].rate, j.rep, evs, raw[j.point])
 				if errs[i] != nil {
 					failed.Store(true)
 				}
@@ -175,12 +205,60 @@ func Sweep(s *Scenario, o SweepOptions) (SweepResult, error) {
 
 	for i, err := range errs {
 		if err != nil {
-			return SweepResult{}, fmt.Errorf("noc: sweep point (msglen=%d, rate=%g): %w",
-				jobs[i].msgLen, jobs[i].rate, err)
+			j := jobs[i]
+			return SweepResult{}, fmt.Errorf("noc: sweep point (msglen=%d, rate=%g, rep=%d): %w",
+				specs[j.point].msgLen, specs[j.point].rate, j.rep, err)
 		}
+	}
+
+	points := make([]SweepPoint, len(specs))
+	for p, spec := range specs {
+		pt := SweepPoint{MsgLen: spec.msgLen, Rate: spec.rate}
+		for e, ev := range evals {
+			if _, ok := ev.(replicator); ok && reps > 1 {
+				pt.Results = append(pt.Results, aggregateReplications(raw[p][e]))
+			} else {
+				pt.Results = append(pt.Results, raw[p][e][0])
+			}
+		}
+		points[p] = pt
 	}
 	out.Points = points
 	return out, nil
+}
+
+// runJob evaluates one (point, replication) job into dst[eval][rep]. A
+// panicking evaluator must not kill the process (and with it the whole
+// sweep): surface it as the job's error instead.
+func runJob(s *Scenario, msgLen int, rate float64, rep int, evals []Evaluator, dst [][]Result) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("evaluator panicked: %v", r)
+		}
+	}()
+	sp, err := s.With(MsgLen(msgLen), Rate(rate))
+	if err != nil {
+		return err
+	}
+	for e, ev := range evals {
+		if r, ok := ev.(replicator); ok {
+			res, err := r.evaluateRep(sp, rep)
+			if err != nil {
+				return err
+			}
+			dst[e][rep] = res
+			continue
+		}
+		if rep != 0 {
+			continue // deterministic evaluators run once, on replication 0
+		}
+		res, err := ev.Evaluate(sp)
+		if err != nil {
+			return err
+		}
+		dst[e][rep] = res
+	}
+	return nil
 }
 
 // workerForker is implemented by evaluators that want a private, stateful
@@ -202,27 +280,4 @@ func workerEvaluators(evals []Evaluator) []Evaluator {
 		}
 	}
 	return out
-}
-
-func runPoint(s *Scenario, msgLen int, rate float64, evals []Evaluator) (pt SweepPoint, err error) {
-	// A panicking evaluator must not kill the process (and with it the
-	// whole sweep): surface it as the point's error instead.
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("evaluator panicked: %v", r)
-		}
-	}()
-	sp, err := s.With(MsgLen(msgLen), Rate(rate))
-	if err != nil {
-		return SweepPoint{}, err
-	}
-	pt = SweepPoint{MsgLen: msgLen, Rate: rate}
-	for _, ev := range evals {
-		r, err := ev.Evaluate(sp)
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		pt.Results = append(pt.Results, r)
-	}
-	return pt, nil
 }

@@ -8,6 +8,9 @@
 //     tail-release holding time
 //   - ext-mesh: model validity on multi-port mesh and torus (Sec. 5
 //     future work)
+//   - workload: the same offered load under every arrival process and a
+//     selection of permutation patterns (simulator only — the model's
+//     M/G/1 machinery is Poisson-only by construction)
 //
 // Example:
 //
@@ -26,7 +29,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ablations: ")
 
-	which := flag.String("which", "all", "study to run: oneport, spidergon, service, mesh, all")
+	which := flag.String("which", "all", "study to run: oneport, spidergon, service, mesh, workload, all")
 	n := flag.Int("n", 16, "Quarc network size")
 	msg := flag.Int("msg", 32, "message length in flits")
 	alpha := flag.Float64("alpha", 0.05, "multicast fraction")
@@ -83,5 +86,17 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(noc.SeriesTable(series))
+		fmt.Println()
+	}
+
+	if run("workload") {
+		fmt.Printf("== workload diversity: arrival x spatial pattern (N=%d, M=%d, sim unicast latency) ==\n",
+			*n, *msg)
+		series, err := noc.WorkloadAblation(*n, *msg,
+			[]float64{0.002, 0.004, 0.006}, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(noc.SimSeriesTable(series))
 	}
 }

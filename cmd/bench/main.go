@@ -35,6 +35,8 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline snapshot to diff against; prints per-case deltas")
 	maxAllocRegress := flag.Float64("max-alloc-regress", -1,
 		"with -baseline: exit nonzero when any case's allocs/op regresses by more than this fraction (e.g. 0.10; negative disables)")
+	maxSpeedRegress := flag.Float64("max-speed-regress", -1,
+		"with -baseline: exit nonzero when any case's events/sec throughput drops by more than this fraction (e.g. 0.10; negative disables)")
 	// testing.Init registers the testing flags (notably test.benchtime)
 	// that testing.Benchmark reads; it must run before flag.Parse.
 	testing.Init()
@@ -71,7 +73,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		failed = diff(base, recs, *maxAllocRegress)
+		failed = diff(base, recs, *maxAllocRegress, *maxSpeedRegress)
 	}
 
 	if *out != "" {
@@ -134,8 +136,8 @@ func readBaseline(path string) (bench.Report, error) {
 }
 
 // diff prints per-case deltas against the baseline and returns whether
-// the allocs/op regression gate (if enabled) tripped.
-func diff(base bench.Report, recs []bench.Record, maxAllocRegress float64) bool {
+// the allocs/op or events/sec regression gates (when enabled) tripped.
+func diff(base bench.Report, recs []bench.Record, maxAllocRegress, maxSpeedRegress float64) bool {
 	byName := make(map[string]bench.Record, len(base.Cases))
 	for _, r := range base.Cases {
 		byName[r.Name] = r
@@ -154,8 +156,13 @@ func diff(base bench.Report, recs []bench.Record, maxAllocRegress float64) bool 
 			r.Name, old.NsPerOp, r.NsPerOp, pct(r.NsPerOp, old.NsPerOp),
 			old.AllocsPerOp, r.AllocsPerOp, pct(float64(r.AllocsPerOp), float64(old.AllocsPerOp)))
 		if es, ok := r.Metrics["events/sec"]; ok {
-			if old, ok := old.Metrics["events/sec"]; ok && old > 0 {
-				fmt.Printf("    events/sec %.4g -> %.4g (%.2fx)\n", old, es, es/old)
+			if oldES, ok := old.Metrics["events/sec"]; ok && oldES > 0 {
+				fmt.Printf("    events/sec %.4g -> %.4g (%.2fx)\n", oldES, es, es/oldES)
+				if maxSpeedRegress >= 0 && es < oldES*(1-maxSpeedRegress) {
+					fmt.Printf("    FAIL: events/sec %.4g is more than %.0f%% below baseline %.4g\n",
+						es, maxSpeedRegress*100, oldES)
+					failed = true
+				}
 			}
 		}
 		if maxAllocRegress >= 0 &&

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"quarc/noc"
 )
@@ -35,12 +37,55 @@ func main() {
 	trace := flag.Int("trace", -1, "trace messages generated at this node (prints up to -trace-limit events)")
 	traceLimit := flag.Int("trace-limit", 60, "maximum trace events to print")
 	priority := flag.Bool("mc-priority", false, "multicast-first channel arbitration (default FIFO, as in the paper)")
+	arrival := flag.String("arrival", "poisson", "arrival process: poisson, bernoulli, onoff, periodic")
+	burst := flag.Float64("burst", 8, "onoff arrivals: mean burst length in messages")
+	duty := flag.Float64("duty", 0.5, "onoff arrivals: duty cycle in (0,1]")
+	perm := flag.String("perm", "", "spatial pattern for unicast destinations: transpose, bit-reversal, bit-complement, shuffle, tornado (default uniform)")
+	record := flag.String("record", "", "record the run's workload trace to this file")
+	recordJSONL := flag.Bool("record-jsonl", false, "write the -record trace as JSONL instead of the compact binary format")
+	replay := flag.String("replay", "", "replay a workload trace from this file instead of generating traffic")
 	flag.Parse()
 
 	opts := []noc.Option{
 		noc.Quarc(*n), noc.MsgLen(*msg), noc.Rate(*rate), noc.Alpha(*alpha),
 		noc.Seed(*seed), noc.Warmup(*warmup), noc.Measure(*measure),
 		noc.Detail(*detail), noc.MulticastPriority(*priority),
+	}
+	switch *arrival {
+	case "onoff":
+		opts = append(opts, noc.OnOff(*burst, *duty))
+	case "poisson":
+		// the default
+	default:
+		opts = append(opts, noc.Arrival(*arrival))
+	}
+	if *perm != "" {
+		opts = append(opts, noc.Permutation(*perm))
+	}
+	var captured *noc.TraceWorkload
+	var recordFile *os.File
+	if *record != "" {
+		// Create the output up front so an unwritable path fails before
+		// the simulation runs, not after.
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recordFile = f
+		captured = &noc.TraceWorkload{}
+		opts = append(opts, noc.Record(captured))
+	}
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tw, err := noc.ReadTraceWorkload(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, noc.Replay(tw))
 	}
 	switch {
 	case *alpha == 0:
@@ -64,9 +109,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if captured != nil {
+		var werr error
+		if *recordJSONL {
+			werr = captured.WriteJSONL(recordFile)
+		} else {
+			werr = captured.WriteBinary(recordFile)
+		}
+		if cerr := recordFile.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Printf("recorded:      %d messages to %s\n", captured.Messages(), *record)
+	}
 
-	fmt.Printf("configuration: N=%d msg=%d flits rate=%g alpha=%g set={%s}\n",
-		*n, *msg, *rate, *alpha, s.SetString())
+	if *replay != "" {
+		// The generative knobs are ignored under replay; print the true
+		// workload provenance instead.
+		fmt.Printf("configuration: N=%d msg=%d flits workload=replay(%s) set={%s}\n",
+			*n, *msg, *replay, s.SetString())
+	} else {
+		fmt.Printf("configuration: N=%d msg=%d flits rate=%g alpha=%g arrival=%s spatial=%s set={%s}\n",
+			*n, *msg, *rate, *alpha, s.ArrivalName(), s.SpatialName(), s.SetString())
+	}
 	fmt.Printf("simulated:     %.0f cycles, %d events, %d/%d messages completed/generated\n",
 		res.Time, res.Events, res.Completed, res.Generated)
 	if res.Saturated {
@@ -90,6 +157,14 @@ func main() {
 
 	if *compare {
 		pred, err := noc.Model{}.Evaluate(s)
+		if errors.Is(err, noc.ErrModelInapplicable) {
+			// Non-poisson arrivals and trace replays are outside the
+			// analytical model's scope; say so instead of aborting a run
+			// whose simulation half already printed. Any other model
+			// error is a real failure and still exits nonzero.
+			fmt.Printf("model:         not applicable (%v)\n", err)
+			return
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,6 +9,12 @@ import (
 	"quarc/internal/topology"
 	"quarc/internal/traffic"
 )
+
+// ErrNonPoisson marks model evaluations rejected because the workload's
+// arrival process breaks the M/G/1 Poisson assumption — an out-of-scope
+// workload, not a defect. Callers that fall back to simulator-only
+// output match it with errors.Is.
+var ErrNonPoisson = errors.New("the analytical model requires poisson arrivals")
 
 // Input specifies one model evaluation: a routed topology, a workload
 // specification and the message length in flits.
@@ -130,8 +137,14 @@ func NewModel(in Input) (*Model, error) {
 	if in.Router == nil {
 		return nil, fmt.Errorf("core: nil router")
 	}
-	if err := in.Spec.Validate(); err != nil {
+	if err := in.Spec.ValidateFor(in.Router.Graph().Nodes()); err != nil {
 		return nil, err
+	}
+	if a := in.Spec.Arrival; a != "" && a != "poisson" {
+		// The M/G/1 waiting-time formulas assume Poisson arrivals; any
+		// other registered process invalidates Eq. 3 silently, so fail
+		// loudly instead.
+		return nil, fmt.Errorf("core: %w, got %q (use the simulator)", ErrNonPoisson, a)
 	}
 	if in.MsgLen < 2 {
 		return nil, fmt.Errorf("core: message length %d too short", in.MsgLen)
@@ -164,14 +177,14 @@ func NewModel(in Input) (*Model, error) {
 	alpha := in.Spec.MulticastFrac
 
 	// Unicast flows: per-pair probabilities from the spec (uniform in the
-	// paper's setup, skewed under hotspot traffic).
+	// paper's setup; skewed under hotspot, permutation or weight-matrix
+	// traffic), one O(n) row per source.
 	if lam > 0 && alpha < 1 {
+		probs := make([]float64, n)
 		for src := 0; src < n; src++ {
+			in.Spec.UnicastProbRow(n, topology.NodeID(src), probs)
 			for dst := 0; dst < n; dst++ {
-				if src == dst {
-					continue
-				}
-				p := in.Spec.UnicastProb(n, topology.NodeID(src), topology.NodeID(dst))
+				p := probs[dst]
 				if p == 0 {
 					continue
 				}
@@ -184,10 +197,15 @@ func NewModel(in Input) (*Model, error) {
 		}
 	}
 
-	// Multicast flows: one flow per branch per source at rate λα.
+	// Multicast flows: one flow per branch per source at rate λα. Silent
+	// sources (permutation self-maps) generate nothing, multicast
+	// included, matching the simulator's workload.
 	if lam > 0 && alpha > 0 {
 		m.branches = make([][]routing.Branch, n)
 		for src := 0; src < n; src++ {
+			if in.Spec.Silent(topology.NodeID(src)) {
+				continue
+			}
 			branches, err := in.Router.MulticastBranches(topology.NodeID(src), in.Spec.Set)
 			if err != nil {
 				return nil, fmt.Errorf("core: multicast branches at %d: %w", src, err)
@@ -376,17 +394,41 @@ func (m *Model) PathLatency(path routing.Path) float64 {
 	return m.PathWait(path) + float64(m.in.MsgLen) + float64(len(path)-1)
 }
 
+// activeSources counts the sources that generate traffic: all of them,
+// unless a permutation self-map silences some. Latency averages divide by
+// this count, matching the simulator's per-message means (the classic
+// no-permutation path keeps the exact n divisor, bitwise).
+func (m *Model) activeSources() (int, error) {
+	n := m.g.Nodes()
+	if m.in.Spec.Perm == nil {
+		return n, nil
+	}
+	active := 0
+	for src := 0; src < n; src++ {
+		if !m.in.Spec.Silent(topology.NodeID(src)) {
+			active++
+		}
+	}
+	if active == 0 {
+		return 0, fmt.Errorf("core: the permutation silences every node")
+	}
+	return active, nil
+}
+
 func (m *Model) unicastLatency() (float64, error) {
 	n := m.g.Nodes()
+	active, err := m.activeSources()
+	if err != nil {
+		return 0, err
+	}
 	var sum float64
+	probs := make([]float64, n)
 	for src := 0; src < n; src++ {
+		// Weight each pair by the probability a message takes it, so
+		// the average is over messages, as the simulator measures it.
+		m.in.Spec.UnicastProbRow(n, topology.NodeID(src), probs)
 		for dst := 0; dst < n; dst++ {
-			if src == dst {
-				continue
-			}
-			// Weight each pair by the probability a message takes it, so
-			// the average is over messages, as the simulator measures it.
-			p := m.in.Spec.UnicastProb(n, topology.NodeID(src), topology.NodeID(dst))
+			p := probs[dst]
 			if p == 0 {
 				continue
 			}
@@ -397,7 +439,7 @@ func (m *Model) unicastLatency() (float64, error) {
 			sum += p * m.PathLatency(path)
 		}
 	}
-	return sum / float64(n), nil
+	return sum / float64(active), nil
 }
 
 func (m *Model) multicastLatency() (float64, error) {
@@ -406,8 +448,15 @@ func (m *Model) multicastLatency() (float64, error) {
 	}
 	serialized := m.g.Ports() == 1
 	n := m.g.Nodes()
+	active, err := m.activeSources()
+	if err != nil {
+		return 0, err
+	}
 	var sum float64
 	for src := 0; src < n; src++ {
+		if m.in.Spec.Silent(topology.NodeID(src)) {
+			continue
+		}
 		branches := m.branches[src]
 		if len(branches) == 0 {
 			return 0, fmt.Errorf("core: node %d has no multicast branches", src)
@@ -427,7 +476,7 @@ func (m *Model) multicastLatency() (float64, error) {
 		// Eqs. 13-14: last-of-m exponential wait + msg + max hops.
 		sum += MulticastWait(waits) + float64(m.in.MsgLen) + float64(maxD)
 	}
-	return sum / float64(n), nil
+	return sum / float64(active), nil
 }
 
 // serializedMulticastNode models multicast on a one-port router, which is

@@ -315,3 +315,44 @@ func TestSteadyStateEventLoopAllocFree(t *testing.T) {
 		t.Fatal("no events fired — the alloc measurement was vacuous")
 	}
 }
+
+// TestSteadyStateAllocFreeAllArrivals extends the alloc-free pin across
+// the arrival-process registry: whichever process paces injection
+// (bursty, periodic, discrete), the warm event loop must not allocate.
+func TestSteadyStateAllocFreeAllArrivals(t *testing.T) {
+	rt := quarcRouter(t, 16)
+	set, err := rt.LocalizedSet(topology.PortL, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []traffic.Spec{
+		{Rate: 0.004, MulticastFrac: 0.05, Set: set, Arrival: "bernoulli"},
+		{Rate: 0.004, MulticastFrac: 0.05, Set: set, Arrival: "onoff", BurstLen: 8, DutyCycle: 0.25},
+		{Rate: 0.004, MulticastFrac: 0.05, Set: set, Arrival: "periodic"},
+	}
+	for _, spec := range specs {
+		w, err := traffic.NewWorkload(rt, spec, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Arrival, err)
+		}
+		nw, err := New(rt.Graph(), w, Config{MsgLen: 32, Warmup: 1e9, Measure: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for node := 0; node < rt.Graph().Nodes(); node++ {
+			nw.scheduleGeneration(topology.NodeID(node), 0)
+		}
+		nw.eng.Run(5000) // warm the pools, the wait queues and the event heap
+		now := nw.eng.Now()
+		avg := testing.AllocsPerRun(50, func() {
+			now += 100
+			nw.eng.Run(now)
+		})
+		if avg != 0 {
+			t.Errorf("%s: steady-state event loop allocates %v allocs per 100 cycles, want 0", spec.Arrival, avg)
+		}
+		if nw.eng.Fired() == 0 {
+			t.Errorf("%s: no events fired — the alloc measurement was vacuous", spec.Arrival)
+		}
+	}
+}

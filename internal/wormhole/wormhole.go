@@ -51,6 +51,16 @@ type Traffic interface {
 	Next(node topology.NodeID) ([]routing.Branch, bool)
 }
 
+// Observer is an optional Traffic extension: when the traffic source also
+// implements it, the network calls Injected once per message it actually
+// injects, with the simulated injection time. Draws that never materialize
+// (the horizon or a saturation stop intervened) get no call, so observers
+// see ground truth rather than the RNG stream — the workload trace
+// recorder uses this to stamp absolute injection times into its records.
+type Observer interface {
+	Injected(node topology.NodeID, t float64, multicast bool)
+}
+
 // Config controls a simulation run.
 type Config struct {
 	// MsgLen is the message length in flits (at least 2). The paper
@@ -188,8 +198,11 @@ const (
 // Network is one simulation instance. Create with New, run with Run, and
 // reuse across runs with Reset.
 type Network struct {
-	g               *topology.Graph
-	traffic         Traffic
+	g       *topology.Graph
+	traffic Traffic
+	// obs is traffic's Observer extension, resolved once at New/Reset so
+	// the generate path pays a nil check instead of a type assertion.
+	obs             Observer
 	cfg             Config
 	eng             *sim.Engine
 	channels        []channel
@@ -323,6 +336,7 @@ func New(g *topology.Graph, traffic Traffic, cfg Config) (*Network, error) {
 		eng:      sim.New(),
 		channels: make([]channel, g.NumChannels()),
 	}
+	nw.obs, _ = traffic.(Observer)
 	nw.eng.SetHandler(nw)
 	// Seed the scheduler geometry with the workload's shape — a few
 	// events in flight per node, scheduled up to a few message-drain
@@ -343,6 +357,7 @@ func (nw *Network) Reset(traffic Traffic, cfg Config) error {
 		return err
 	}
 	nw.traffic = traffic
+	nw.obs, _ = traffic.(Observer)
 	nw.cfg = cfg
 	nw.eng.Reset()
 	for i := range nw.channels {
@@ -515,6 +530,9 @@ func (nw *Network) generate(node topology.NodeID, t float64) {
 		nw.pendingMeasured++
 	}
 	nw.trace(msg, -1, TraceGenerate, topology.None, t)
+	if nw.obs != nil {
+		nw.obs.Injected(node, t, multicast)
+	}
 	for i := range branches {
 		nw.request(nw.getWorm(msg, i, branches[i].Path), t)
 	}

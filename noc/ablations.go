@@ -79,6 +79,65 @@ func MeshExtension(w, h, msgLen int, alpha float64, rates []float64, opts ...Opt
 	)
 }
 
+// WorkloadAblation sweeps the same offered load through the
+// workload-diversity registries: every arrival process (how the load
+// clumps in time) and a selection of spatial patterns (how it clumps in
+// space), on one topology. The study runs the simulator only — the
+// analytical model's M/G/1 machinery assumes Poisson arrivals and
+// rejects the others by design — and makes visible how much congestion
+// smooth Poisson/uniform injection hides at equal average rates.
+func WorkloadAblation(n, msgLen int, rates []float64, opts ...Option) ([]Series, error) {
+	variants := []labelled{
+		{"poisson/uniform", nil},
+		{"bernoulli/uniform", []Option{Arrival("bernoulli")}},
+		{"onoff(8,0.25)/uniform", []Option{OnOff(8, 0.25)}},
+		{"periodic/uniform", []Option{Arrival("periodic")}},
+		{"poisson/transpose", []Option{Permutation("transpose")}},
+		{"poisson/tornado", []Option{Permutation("tornado")}},
+		{"onoff(8,0.25)/tornado", []Option{OnOff(8, 0.25), Permutation("tornado")}},
+	}
+	var out []Series
+	for _, v := range variants {
+		all := append([]Option{Quarc(n), MsgLen(msgLen)}, opts...)
+		s, err := NewScenario(append(all, v.opts...)...)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := Sweep(s, SweepOptions{Rates: rates, Evaluators: []Evaluator{Simulator{}}})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Series{Label: v.label, Points: sw.Points})
+	}
+	return out, nil
+}
+
+// SimSeriesTable renders simulator-only series (e.g. WorkloadAblation's)
+// side by side.
+func SimSeriesTable(series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s", "rate:")
+	if len(series) > 0 {
+		for _, p := range series[0].Points {
+			fmt.Fprintf(&b, " %10.5g", p.Rate)
+		}
+	}
+	fmt.Fprintln(&b)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-24s", s.Label)
+		for _, p := range s.Points {
+			sim, _ := p.Get("simulator")
+			if sim.Saturated {
+				fmt.Fprintf(&b, " %10s", "SAT")
+			} else {
+				fmt.Fprintf(&b, " %10.2f", sim.Unicast)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
 type labelled struct {
 	label string
 	opts  []Option

@@ -57,6 +57,8 @@ func Suite() []Case {
 		{Name: "Sweep", Run: benchSweep},
 		{Name: "Replications", Run: benchReplications},
 		{Name: "SweepScaling", Run: benchSweepScaling},
+		{Name: "NetworkRun/onoff", Run: benchNetworkRunOnOff},
+		{Name: "Replay", Run: benchReplay},
 	}
 }
 
@@ -183,6 +185,79 @@ func benchNetworkRunReuse(b *testing.B) {
 			b.Fatal(err)
 		}
 		if err := nw.Reset(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+		events += nw.Run().Events
+	}
+	b.StopTimer()
+	reportEventRate(b, events)
+}
+
+// benchNetworkRunOnOff is the reuse path under the bursty on/off arrival
+// process and a tornado permutation — the workload-diversity subsystem's
+// hot-path cost relative to NetworkRun/reuse (poisson/uniform).
+func benchNetworkRunOnOff(b *testing.B) {
+	rt, spec, cfg := benchSetup(b)
+	n := rt.Graph().Nodes()
+	spec.Arrival = "onoff"
+	spec.BurstLen, spec.DutyCycle = 8, 0.25
+	spec.MulticastFrac = 0
+	spec.Set = routing.MulticastSet{}
+	perm := make([]topology.NodeID, n)
+	shift := (n+1)/2 - 1
+	for i := range perm {
+		perm[i] = topology.NodeID((i + shift) % n)
+	}
+	spec.Perm = perm
+	w, err := traffic.NewWorkload(rt, spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := wormhole.New(rt.Graph(), w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Reset(spec, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := nw.Reset(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+		events += nw.Run().Events
+	}
+	b.StopTimer()
+	reportEventRate(b, events)
+}
+
+// benchReplay measures trace-driven runs: one recorded mid-load run
+// replayed per iteration (replayer construction included; the route
+// tables come from the shared per-router caches).
+func benchReplay(b *testing.B) {
+	rt, spec, cfg := benchSetup(b)
+	w, err := traffic.NewWorkload(rt, spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := traffic.NewRecorder(w)
+	nw, err := wormhole.New(rt.Graph(), rec, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.Run()
+	tr := rec.Trace()
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp, err := traffic.NewReplayer(rt, spec.Set, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := nw.Reset(rp, cfg); err != nil {
 			b.Fatal(err)
 		}
 		events += nw.Run().Events

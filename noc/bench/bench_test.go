@@ -15,7 +15,10 @@ func BenchmarkEngine(b *testing.B) { benchEngine(b) }
 func BenchmarkNetworkRun(b *testing.B) {
 	b.Run("fresh", benchNetworkRunFresh)
 	b.Run("reuse", benchNetworkRunReuse)
+	b.Run("onoff", benchNetworkRunOnOff)
 }
+
+func BenchmarkReplay(b *testing.B) { benchReplay(b) }
 
 func BenchmarkSweep(b *testing.B) { benchSweep(b) }
 

@@ -1,6 +1,9 @@
 package noc
 
 import (
+	"errors"
+	"fmt"
+
 	"quarc/internal/core"
 	"quarc/internal/routing"
 	"quarc/internal/topology"
@@ -20,6 +23,13 @@ type Evaluator interface {
 	Evaluate(s *Scenario) (Result, error)
 }
 
+// ErrModelInapplicable marks scenarios the analytical model declines by
+// design — trace-driven workloads and non-poisson arrival processes —
+// as opposed to genuine evaluation failures. Callers that degrade to
+// simulator-only output (e.g. quarcsim -compare) match it with
+// errors.Is; any other model error still signals a real problem.
+var ErrModelInapplicable = errors.New("the analytical model does not apply to this workload")
+
 // Model evaluates the analytical model: the M/G/1 channel queues, the
 // wormhole service-time fixed point and the max-of-exponentials multicast
 // combination (paper Eqs. 3-16).
@@ -30,6 +40,12 @@ func (Model) Name() string { return "model" }
 
 // Evaluate implements Evaluator.
 func (Model) Evaluate(s *Scenario) (Result, error) {
+	// A Record option is simulator-only but harmless here (the model
+	// generates no messages to capture); only a trace-driven workload has
+	// no analytical description.
+	if s.cfg.replay != nil {
+		return Result{}, fmt.Errorf("noc: %w: trace-driven workloads have no analytical description (use the simulator)", ErrModelInapplicable)
+	}
 	in := core.Input{
 		Router:         s.router,
 		Spec:           s.spec(),
@@ -42,6 +58,9 @@ func (Model) Evaluate(s *Scenario) (Result, error) {
 	}
 	m, err := core.NewModel(in)
 	if err != nil {
+		if errors.Is(err, core.ErrNonPoisson) {
+			err = fmt.Errorf("noc: %w: %v", ErrModelInapplicable, err)
+		}
 		return Result{}, err
 	}
 	pred, err := m.Solve()
@@ -138,8 +157,31 @@ func simulate(s *Scenario, pool *networkPool, seed uint64) (Result, error) {
 		TraceLimit:        s.cfg.traceLimit,
 		MulticastPriority: s.cfg.mcPriority,
 	}
+	// Trace capture and replay bypass the pool: both need their own
+	// traffic source for exactly one run.
+	var recorder *traffic.Recorder
 	var nw *wormhole.Network
-	if pool != nil && pool.nw != nil && pool.rt == s.router {
+	switch {
+	case s.cfg.replay != nil:
+		rp, err := traffic.NewReplayer(s.router, s.set, s.cfg.replay.tr)
+		if err != nil {
+			return Result{}, err
+		}
+		nw, err = wormhole.New(s.router.Graph(), rp, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+	case s.cfg.record != nil:
+		w, err := traffic.NewWorkload(s.router, s.spec(), seed)
+		if err != nil {
+			return Result{}, err
+		}
+		recorder = traffic.NewRecorder(w)
+		nw, err = wormhole.New(s.router.Graph(), recorder, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+	case pool != nil && pool.nw != nil && pool.rt == s.router:
 		if err := pool.wl.Reset(s.spec(), seed); err != nil {
 			return Result{}, err
 		}
@@ -147,7 +189,7 @@ func simulate(s *Scenario, pool *networkPool, seed uint64) (Result, error) {
 			return Result{}, err
 		}
 		nw = pool.nw
-	} else {
+	default:
 		w, err := traffic.NewWorkload(s.router, s.spec(), seed)
 		if err != nil {
 			return Result{}, err
@@ -161,6 +203,14 @@ func simulate(s *Scenario, pool *networkPool, seed uint64) (Result, error) {
 		}
 	}
 	r := nw.Run()
+	if recorder != nil {
+		tr := recorder.Trace()
+		// The workload does not know the message length (it is a
+		// simulator knob), so stamp it here: only the recorded length
+		// reproduces the recorded results.
+		tr.MsgLen = s.cfg.msgLen
+		s.cfg.record.tr = tr
+	}
 	res := Result{
 		Evaluator:   "simulator",
 		Unicast:     r.Unicast.Mean(),

@@ -1,0 +1,100 @@
+package noc
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPanelCatalog pins the figure-panel plumbing: the catalog is
+// non-empty, IDs resolve, and the internal conversion round-trips.
+func TestPanelCatalog(t *testing.T) {
+	all := FigurePanels()
+	if len(all) == 0 {
+		t.Fatal("no figure panels")
+	}
+	if len(Fig6Panels())+len(Fig7Panels()) != len(all) {
+		t.Errorf("fig6 (%d) + fig7 (%d) != all (%d)",
+			len(Fig6Panels()), len(Fig7Panels()), len(all))
+	}
+	first := all[0]
+	got, err := PanelByID(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != first {
+		t.Errorf("PanelByID(%q) = %+v, want %+v", first.ID, got, first)
+	}
+	if back := fromInternalPanel(first.toInternal()); back != first {
+		t.Errorf("panel round-trip changed: %+v -> %+v", first, back)
+	}
+	if _, err := PanelByID("fig99-z"); err == nil {
+		t.Error("unknown panel ID resolved")
+	}
+}
+
+// TestRunFigurePanelsQuick drives one tiny custom panel end to end
+// through the public figure API: run, ASCII plot, CSV, JSON, summary.
+func TestRunFigurePanelsQuick(t *testing.T) {
+	panel := Panel{
+		ID: "test-quick", Figure: "6", N: 8, MsgLen: 8, Alpha: 0.1,
+		Random: true, SetSize: 2, SetSeed: 3, Points: 2,
+	}
+	results, err := RunFigurePanels([]Panel{panel},
+		Effort{Warmup: 500, Measure: 4000, Seed: 11}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.Panel().ID != "test-quick" {
+		t.Errorf("panel ID = %q", r.Panel().ID)
+	}
+	if r.SatRate() <= 0 {
+		t.Errorf("saturation rate = %v, want > 0", r.SatRate())
+	}
+	if plot := r.AsciiPlot(40, 12); !strings.Contains(plot, "latency") && len(plot) < 40 {
+		t.Errorf("ascii plot suspiciously short:\n%s", plot)
+	}
+	var csv bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines < 2 {
+		t.Errorf("CSV has %d lines, want >= 2:\n%s", lines, csv.String())
+	}
+	var js bytes.Buffer
+	if err := WriteFiguresJSON(&js, results); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("figures JSON does not parse: %v", err)
+	}
+	if sum := FiguresSummary(results); !strings.Contains(sum, "test-quick") {
+		t.Errorf("summary table missing the panel:\n%s", sum)
+	}
+}
+
+// TestSaturationStudyQuick covers the saturation-study wrappers.
+func TestSaturationStudyQuick(t *testing.T) {
+	rows, err := SaturationStudy([]int{8, 16}, []int{8}, []float64{0.05}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.SatRate <= 0 || r.Capacity <= 0 {
+			t.Errorf("row %+v has non-positive saturation", r)
+		}
+	}
+	table := SatTable(rows)
+	if !strings.Contains(table, "8") {
+		t.Errorf("saturation table empty:\n%s", table)
+	}
+}

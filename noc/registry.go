@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"quarc/internal/traffic"
 )
 
 // TopologyConfig parameterizes a topology builder. Each builder reads only
@@ -39,6 +41,25 @@ type RouterBuilder func(topo any) (any, error)
 // (produced by a RouterBuilder). The returned value must be a
 // routing.MulticastSet; external callers treat it as opaque.
 type PatternBuilder func(router any, cfg PatternConfig) (any, error)
+
+// SpatialConfig parameterizes a spatial (unicast-destination) pattern
+// builder. The permutation families ignore it; "hotspot" reads all three
+// fields.
+type SpatialConfig struct {
+	// Frac is the fraction of unicast traffic directed at the hotspots.
+	Frac float64
+	// Nodes lists the hotspot nodes.
+	Nodes []int
+	// Weights gives the hotspots' relative weights (nil means equal);
+	// must be index-aligned with Nodes when set.
+	Weights []float64
+}
+
+// SpatialBuilder materializes a unicast-destination pattern for a router:
+// a fixed permutation (transpose, bit-reversal, tornado, ...) or a
+// destination weight matrix (hotspot). The returned value must be a
+// traffic.Dest; external callers treat it as opaque.
+type SpatialBuilder func(router any, cfg SpatialConfig) (any, error)
 
 // registry is a concurrency-safe string-keyed table of builders.
 type registry[T any] struct {
@@ -85,6 +106,7 @@ var (
 	topologyReg = &registry[TopologyBuilder]{kind: "topology"}
 	routerReg   = &registry[RouterBuilder]{kind: "router"}
 	patternReg  = &registry[PatternBuilder]{kind: "traffic pattern"}
+	spatialReg  = &registry[SpatialBuilder]{kind: "spatial pattern"}
 
 	// defaultRouter maps a topology name to the router used when a
 	// scenario does not name one explicitly.
@@ -119,6 +141,19 @@ func Routers() []string { return routerReg.names() }
 
 // Patterns returns the registered traffic-pattern names, sorted.
 func Patterns() []string { return patternReg.names() }
+
+// RegisterSpatial adds (or replaces) a named spatial (unicast-destination)
+// pattern builder. The built-in names are "uniform", "transpose",
+// "bit-reversal", "bit-complement", "shuffle", "tornado" and "hotspot".
+func RegisterSpatial(name string, b SpatialBuilder) { spatialReg.register(name, b) }
+
+// Spatials returns the registered spatial-pattern names, sorted.
+func Spatials() []string { return spatialReg.names() }
+
+// Arrivals returns the registered arrival-process names, sorted. The
+// built-ins are "bernoulli", "onoff", "periodic" and "poisson" (the
+// default); register more with traffic.RegisterArrival.
+func Arrivals() []string { return traffic.Arrivals() }
 
 func defaultRouterFor(topology string) string {
 	defaultRouterMu.RLock()

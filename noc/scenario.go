@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"quarc/internal/routing"
@@ -50,6 +51,17 @@ type config struct {
 	hotspotFrac float64
 	hotspotNode int
 
+	// workload-diversity knobs: the arrival process pacing injection and
+	// the spatial pattern choosing unicast destinations (both default to
+	// the paper's poisson + uniform), plus trace capture/replay.
+	arrival     string // empty selects "poisson"
+	burstLen    float64
+	dutyCycle   float64
+	spatialName string // empty selects "uniform"
+	spatialCfg  SpatialConfig
+	record      *TraceWorkload
+	replay      *TraceWorkload
+
 	// analytical-model knobs (zero selects the core defaults)
 	damping float64
 	maxIter int
@@ -85,6 +97,7 @@ type Scenario struct {
 	cfg    config
 	router routing.Router
 	set    routing.MulticastSet
+	dest   traffic.Dest
 }
 
 // Topology options.
@@ -155,11 +168,68 @@ func Alpha(alpha float64) Option {
 }
 
 // Hotspot skews unicast destinations: with probability frac a unicast goes
-// to node instead of a uniform destination.
+// to node instead of a uniform destination. For several hotspots with
+// individual weights use HotspotDests.
 func Hotspot(frac float64, node int) Option {
 	return func(cfg *config) error {
 		cfg.hotspotFrac = frac
 		cfg.hotspotNode = node
+		return nil
+	}
+}
+
+// Arrival-process options (when a node injects).
+
+// Arrival selects a registered arrival process by name: "poisson" (the
+// default), "bernoulli" (per-cycle coin flips, arrivals on the cycle
+// grid), "onoff" (bursts — configure with OnOff) or "periodic"
+// (deterministic spacing with a random per-node phase). All processes
+// offer the same long-run Rate; they differ in how the load clumps.
+func Arrival(name string) Option {
+	return func(cfg *config) error {
+		cfg.arrival = name
+		return nil
+	}
+}
+
+// OnOff selects the bursty on/off arrival process: bursts of
+// geometrically many messages (mean burstLen >= 1) injected at
+// Rate/duty, separated by off-periods sized so the long-run rate stays
+// Rate. duty in (0,1]; smaller values concentrate the same offered load
+// into sharper bursts.
+func OnOff(burstLen, duty float64) Option {
+	return func(cfg *config) error {
+		cfg.arrival = "onoff"
+		cfg.burstLen = burstLen
+		cfg.dutyCycle = duty
+		return nil
+	}
+}
+
+// Spatial-pattern options (where a unicast goes).
+
+// Permutation selects a registered spatial pattern by name: "transpose",
+// "bit-reversal", "bit-complement", "shuffle" or "tornado" (or "uniform",
+// the default). Each source then sends all its unicasts to one fixed
+// destination; a source the permutation maps to itself falls silent, the
+// standard convention. Multicasts (Alpha > 0) still follow the multicast
+// destination set.
+func Permutation(name string) Option { return Spatial(name, SpatialConfig{}) }
+
+// HotspotDests is the weight-matrix hotspot pattern: fraction frac of
+// every source's unicasts is split over the given nodes proportionally to
+// weights (nil means equally), the rest is uniform. The single-hotspot
+// Hotspot option is the special case of one node.
+func HotspotDests(frac float64, nodes []int, weights []float64) Option {
+	return Spatial("hotspot", SpatialConfig{Frac: frac, Nodes: nodes, Weights: weights})
+}
+
+// Spatial selects a registered spatial (unicast-destination) pattern by
+// name — the declarative form Permutation and HotspotDests reduce to.
+func Spatial(name string, c SpatialConfig) Option {
+	return func(cfg *config) error {
+		cfg.spatialName = name
+		cfg.spatialCfg = c
 		return nil
 	}
 }
@@ -402,16 +472,22 @@ func (s *Scenario) With(opts ...Option) (*Scenario, error) {
 	}
 	if cfg.topoName == s.cfg.topoName && cfg.topoCfg == s.cfg.topoCfg &&
 		cfg.routerName == s.cfg.routerName && cfg.patName == s.cfg.patName &&
-		equalPatternConfig(cfg.patCfg, s.cfg.patCfg) {
-		// The routed topology and destination set are unchanged; share
-		// them (both are read-only after construction).
-		fork := &Scenario{cfg: cfg, router: s.router, set: s.set}
+		equalPatternConfig(cfg.patCfg, s.cfg.patCfg) &&
+		cfg.spatialName == s.cfg.spatialName &&
+		equalSpatialConfig(cfg.spatialCfg, s.cfg.spatialCfg) {
+		// The routed topology, destination set and spatial pattern are
+		// unchanged; share them (all read-only after construction).
+		fork := &Scenario{cfg: cfg, router: s.router, set: s.set, dest: s.dest}
 		if err := fork.validate(); err != nil {
 			return nil, err
 		}
 		return fork, nil
 	}
 	return resolve(cfg)
+}
+
+func equalSpatialConfig(a, b SpatialConfig) bool {
+	return a.Frac == b.Frac && slices.Equal(a.Nodes, b.Nodes) && slices.Equal(a.Weights, b.Weights)
 }
 
 func equalPatternConfig(a, b PatternConfig) bool {
@@ -471,7 +547,24 @@ func resolve(cfg config) (*Scenario, error) {
 		return nil, fmt.Errorf("noc: pattern %q returned %T, not a multicast set", cfg.patName, setVal)
 	}
 
-	s := &Scenario{cfg: cfg, router: router, set: set}
+	spatialName := cfg.spatialName
+	if spatialName == "" {
+		spatialName = "uniform"
+	}
+	buildSpatial, err := spatialReg.lookup(spatialName)
+	if err != nil {
+		return nil, err
+	}
+	destVal, err := buildSpatial(routerVal, cfg.spatialCfg)
+	if err != nil {
+		return nil, err
+	}
+	dest, ok := destVal.(traffic.Dest)
+	if !ok {
+		return nil, fmt.Errorf("noc: spatial pattern %q returned %T, not a traffic.Dest", spatialName, destVal)
+	}
+
+	s := &Scenario{cfg: cfg, router: router, set: set, dest: dest}
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -481,11 +574,31 @@ func resolve(cfg config) (*Scenario, error) {
 // validate checks the resolved configuration; both NewScenario and the
 // fast path of With run it, so a *Scenario is always well-formed.
 func (s *Scenario) validate() error {
-	if err := s.spec().Validate(); err != nil {
+	if err := s.spec().ValidateFor(s.router.Graph().Nodes()); err != nil {
 		return err
 	}
 	if s.cfg.msgLen < 2 {
 		return fmt.Errorf("noc: message length %d too short", s.cfg.msgLen)
+	}
+	if s.cfg.record != nil && s.cfg.replay != nil {
+		return fmt.Errorf("noc: a scenario cannot both record and replay a trace")
+	}
+	if (s.cfg.record != nil || s.cfg.replay != nil) && s.cfg.replications > 1 {
+		return fmt.Errorf("noc: trace record/replay requires Replications(1), got %d", s.cfg.replications)
+	}
+	if s.cfg.replay != nil {
+		if s.cfg.replay.Empty() {
+			return fmt.Errorf("noc: replay of an empty trace (record one first, or read one)")
+		}
+		if got, want := s.cfg.replay.Nodes(), s.router.Graph().Nodes(); got != want {
+			return fmt.Errorf("noc: replaying a %d-node trace on a %d-node network", got, want)
+		}
+		if got, want := s.cfg.replay.tr.Topo, traffic.TopologyFingerprint(s.router.Graph()); got != 0 && got != want {
+			return fmt.Errorf("noc: the trace was captured on a different topology than the scenario's")
+		}
+		if got := s.cfg.replay.tr.MsgLen; got != 0 && got != s.cfg.msgLen {
+			return fmt.Errorf("noc: the trace was recorded with %d-flit messages, the scenario uses %d (set MsgLen(%d) to reproduce the recording)", got, s.cfg.msgLen, got)
+		}
 	}
 	return nil
 }
@@ -498,6 +611,11 @@ func (s *Scenario) spec() traffic.Spec {
 		Set:           s.set,
 		HotspotFrac:   s.cfg.hotspotFrac,
 		HotspotNode:   topology.NodeID(s.cfg.hotspotNode),
+		Arrival:       s.cfg.arrival,
+		BurstLen:      s.cfg.burstLen,
+		DutyCycle:     s.cfg.dutyCycle,
+		Perm:          s.dest.Perm,
+		Weights:       s.dest.Weights,
 	}
 }
 
@@ -506,6 +624,24 @@ func (s *Scenario) TopologyName() string { return s.cfg.topoName }
 
 // PatternName returns the scenario's traffic-pattern registry name.
 func (s *Scenario) PatternName() string { return s.cfg.patName }
+
+// ArrivalName returns the scenario's arrival-process registry name
+// ("poisson" when defaulted).
+func (s *Scenario) ArrivalName() string {
+	if s.cfg.arrival == "" {
+		return "poisson"
+	}
+	return s.cfg.arrival
+}
+
+// SpatialName returns the scenario's spatial-pattern registry name
+// ("uniform" when defaulted).
+func (s *Scenario) SpatialName() string {
+	if s.cfg.spatialName == "" {
+		return "uniform"
+	}
+	return s.cfg.spatialName
+}
 
 // Nodes returns the network size.
 func (s *Scenario) Nodes() int { return s.router.Graph().Nodes() }

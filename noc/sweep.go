@@ -79,6 +79,19 @@ func SaturationRate(s *Scenario) (float64, error) {
 // sweep: any scenario, any evaluator set, deterministic results in input
 // order.
 func Sweep(s *Scenario, o SweepOptions) (SweepResult, error) {
+	if s.cfg.record != nil {
+		// Every point of a sweep would race to overwrite the one shared
+		// TraceWorkload, leaving whichever point finished last. A trace
+		// is the capture of one run: record by evaluating a single
+		// scenario instead.
+		return SweepResult{}, fmt.Errorf("noc: trace recording inside a sweep is not supported (evaluate the scenario directly)")
+	}
+	if s.cfg.replay != nil {
+		// A replayed workload ignores the swept rate axis entirely, so
+		// every point would be the same run; a flat table with a working
+		// rate column would misread as a real sweep.
+		return SweepResult{}, fmt.Errorf("noc: trace replay inside a sweep is not supported (the trace fixes the workload, so every point would be identical)")
+	}
 	evals := o.Evaluators
 	if len(evals) == 0 {
 		evals = []Evaluator{Model{}, Simulator{}}

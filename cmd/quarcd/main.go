@@ -1,0 +1,83 @@
+// Command quarcd serves the quarc evaluation pipeline over HTTP: one
+// resident engine with a content-addressed result cache, singleflight
+// deduplication and a bounded worker pool (noc/service) behind a small
+// JSON API.
+//
+//	POST /v1/evaluate  one noc.Spec        -> one noc.Result
+//	POST /v1/sweep     {spec, rates}       -> one Result per rate
+//	GET  /v1/registry                      -> registered topology/router/
+//	                                          pattern/arrival/spatial names
+//	GET  /v1/healthz                       -> status + cache/pool stats
+//
+// Example:
+//
+//	quarcd -addr :8080 -workers 8 -cache 4096 &
+//	curl -s localhost:8080/v1/evaluate -d '{"topology":"quarc","n":16,"rate":0.002,"alpha":0.05,"pattern":"localized","dests":4}'
+//
+// The same JSON documents drive quarcsim -spec, so a scenario debugged
+// on the command line is served unchanged.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"quarc/noc/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("quarcd: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0: GOMAXPROCS)")
+	cache := flag.Int("cache", 1024, "result cache entries")
+	scenarios := flag.Int("scenarios", 64, "compiled base-scenario cache entries")
+	queue := flag.Int("queue", 0, "pending-job queue depth (0: 4x workers)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
+	flag.Parse()
+
+	ev := service.New(service.Config{
+		CacheEntries:    *cache,
+		ScenarioEntries: *scenarios,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(ev),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s (workers=%d cache=%d)", *addr, ev.Stats().Workers, *cache)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests within
+	// the deadline, then stop the evaluation pool.
+	log.Printf("shutting down (draining up to %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	ev.Close()
+	st := ev.Stats()
+	log.Printf("stopped: %d evaluations, %d cache hits, %d coalesced", st.Evaluations, st.Hits, st.Coalesced)
+}

@@ -5,14 +5,22 @@
 // Example:
 //
 //	quarcsim -n 64 -msg 32 -rate 0.001 -alpha 0.05 -dests 8 -random -compare
+//
+// The scenario can also be loaded from a declarative Spec JSON document
+// — the same format the quarcd daemon serves — in which case the
+// scenario-shaping flags must stay unset:
+//
+//	quarcsim -spec scenario.json -json
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"quarc/noc"
 )
@@ -44,95 +52,162 @@ func main() {
 	record := flag.String("record", "", "record the run's workload trace to this file")
 	recordJSONL := flag.Bool("record-jsonl", false, "write the -record trace as JSONL instead of the compact binary format")
 	replay := flag.String("replay", "", "replay a workload trace from this file instead of generating traffic")
+	specPath := flag.String("spec", "", "load the scenario from a declarative Spec JSON file (the quarcd wire format); scenario flags may not be combined with it")
+	jsonOut := flag.Bool("json", false, "print the simulator Result as JSON instead of the human-readable report")
 	flag.Parse()
 
-	opts := []noc.Option{
-		noc.Quarc(*n), noc.MsgLen(*msg), noc.Rate(*rate), noc.Alpha(*alpha),
-		noc.Seed(*seed), noc.Warmup(*warmup), noc.Measure(*measure),
-		noc.Detail(*detail), noc.MulticastPriority(*priority),
-	}
-	switch *arrival {
-	case "onoff":
-		opts = append(opts, noc.OnOff(*burst, *duty))
-	case "poisson":
-		// the default
-	default:
-		opts = append(opts, noc.Arrival(*arrival))
-	}
-	if *perm != "" {
-		opts = append(opts, noc.Permutation(*perm))
-	}
-	var captured *noc.TraceWorkload
-	var recordFile *os.File
-	if *record != "" {
-		// Create the output up front so an unwritable path fails before
-		// the simulation runs, not after.
-		f, err := os.Create(*record)
+	var (
+		s        *noc.Scenario
+		sp       noc.Spec
+		err      error
+		captured *noc.TraceWorkload
+		// recordAs persists a captured trace after the run: path plus
+		// encoding ("" means no recording was requested).
+		recordPath string
+		recordJSON bool
+		replaying  string
+	)
+	if *specPath != "" {
+		// The spec document is the single source of truth; a scenario
+		// flag alongside it would silently lose to one of the two, so
+		// refuse the combination outright.
+		allowed := map[string]bool{"spec": true, "compare": true, "json": true}
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			log.Fatalf("-spec is declarative: move %s into the spec document", strings.Join(conflicts, ", "))
+		}
+		data, err := os.ReadFile(*specPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		recordFile = f
-		captured = &noc.TraceWorkload{}
-		opts = append(opts, noc.Record(captured))
-	}
-	if *replay != "" {
-		f, err := os.Open(*replay)
+		sp, err = noc.ParseSpec(data)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tw, err := noc.ReadTraceWorkload(f)
-		f.Close()
+		if sp.Record != "" {
+			// Fail on an unwritable path before the simulation runs.
+			f, err := os.Create(sp.Record)
+			if err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			recordPath = sp.Record
+			recordJSON = strings.HasSuffix(sp.Record, ".jsonl")
+		}
+		replaying = sp.Replay
+		s, err = sp.Scenario()
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts = append(opts, noc.Replay(tw))
-	}
-	switch {
-	case *alpha == 0:
-		// no destination set needed
-	case *broadcast:
-		opts = append(opts, noc.Broadcast())
-	case *random:
-		opts = append(opts, noc.RandomDests(*dests, *setSeed))
-	default:
-		opts = append(opts, noc.LocalizedDests(noc.PortL, *dests))
-	}
-	if *trace >= 0 {
-		opts = append(opts, noc.Trace(*trace, *traceLimit))
-	}
-	s, err := noc.NewScenario(opts...)
-	if err != nil {
-		log.Fatal(err)
+		captured = s.Recording()
+	} else {
+		opts := []noc.Option{
+			noc.Quarc(*n), noc.MsgLen(*msg), noc.Rate(*rate), noc.Alpha(*alpha),
+			noc.Seed(*seed), noc.Warmup(*warmup), noc.Measure(*measure),
+			noc.Detail(*detail), noc.MulticastPriority(*priority),
+		}
+		switch *arrival {
+		case "onoff":
+			opts = append(opts, noc.OnOff(*burst, *duty))
+		case "poisson":
+			// the default
+		default:
+			opts = append(opts, noc.Arrival(*arrival))
+		}
+		if *perm != "" {
+			opts = append(opts, noc.Permutation(*perm))
+		}
+		if *record != "" {
+			// Create the output up front so an unwritable path fails before
+			// the simulation runs, not after.
+			f, err := os.Create(*record)
+			if err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			recordPath, recordJSON = *record, *recordJSONL
+			captured = &noc.TraceWorkload{}
+			opts = append(opts, noc.Record(captured))
+		}
+		if *replay != "" {
+			f, err := os.Open(*replay)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tw, err := noc.ReadTraceWorkload(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = append(opts, noc.Replay(tw))
+			replaying = *replay
+		}
+		switch {
+		case *alpha == 0:
+			// no destination set needed
+		case *broadcast:
+			opts = append(opts, noc.Broadcast())
+		case *random:
+			opts = append(opts, noc.RandomDests(*dests, *setSeed))
+		default:
+			opts = append(opts, noc.LocalizedDests(noc.PortL, *dests))
+		}
+		if *trace >= 0 {
+			opts = append(opts, noc.Trace(*trace, *traceLimit))
+		}
+		s, err = noc.NewScenario(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	res, err := noc.Simulator{}.Evaluate(s)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if captured != nil {
-		var werr error
-		if *recordJSONL {
-			werr = captured.WriteJSONL(recordFile)
-		} else {
-			werr = captured.WriteBinary(recordFile)
+	if captured != nil && recordPath != "" {
+		f, err := os.Create(recordPath)
+		if err != nil {
+			log.Fatal(err)
 		}
-		if cerr := recordFile.Close(); werr == nil {
+		var werr error
+		if recordJSON {
+			werr = captured.WriteJSONL(f)
+		} else {
+			werr = captured.WriteBinary(f)
+		}
+		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
 			log.Fatal(werr)
 		}
-		fmt.Printf("recorded:      %d messages to %s\n", captured.Messages(), *record)
+		if !*jsonOut {
+			fmt.Printf("recorded:      %d messages to %s\n", captured.Messages(), recordPath)
+		}
 	}
 
-	if *replay != "" {
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if replaying != "" {
 		// The generative knobs are ignored under replay; print the true
 		// workload provenance instead.
 		fmt.Printf("configuration: N=%d msg=%d flits workload=replay(%s) set={%s}\n",
-			*n, *msg, *replay, s.SetString())
+			s.Nodes(), s.MsgLen(), replaying, s.SetString())
 	} else {
 		fmt.Printf("configuration: N=%d msg=%d flits rate=%g alpha=%g arrival=%s spatial=%s set={%s}\n",
-			*n, *msg, *rate, *alpha, s.ArrivalName(), s.SpatialName(), s.SetString())
+			s.Nodes(), s.MsgLen(), s.Rate(), s.Alpha(), s.ArrivalName(), s.SpatialName(), s.SetString())
 	}
 	fmt.Printf("simulated:     %.0f cycles, %d events, %d/%d messages completed/generated\n",
 		res.Time, res.Events, res.Completed, res.Generated)
@@ -142,16 +217,16 @@ func main() {
 	}
 	fmt.Printf("unicast:       %.3f ± %.3f cycles (95%% CI, %d messages)\n",
 		res.Unicast, res.UnicastCI, res.UnicastN)
-	if *alpha > 0 && res.MulticastN > 0 {
+	if s.Alpha() > 0 && res.MulticastN > 0 {
 		fmt.Printf("multicast:     %.3f ± %.3f cycles (95%% CI, %d messages)\n",
 			res.Multicast, res.MulticastCI, res.MulticastN)
 	}
 	fmt.Printf("peak channel utilization: %.4f\n", res.MaxUtil)
-	if *detail && res.DetailSummary != "" {
+	if res.DetailSummary != "" {
 		fmt.Print(res.DetailSummary)
 	}
 	if res.TraceText != "" {
-		fmt.Printf("trace of node %d's messages:\n", *trace)
+		fmt.Println("trace of generated messages:")
 		fmt.Print(res.TraceText)
 	}
 
@@ -174,7 +249,7 @@ func main() {
 		}
 		fmt.Printf("model:         unicast %.3f cycles (rel err %.2f%%)",
 			pred.Unicast, 100*noc.RelErr(pred.Unicast, res.Unicast))
-		if *alpha > 0 {
+		if s.Alpha() > 0 {
 			fmt.Printf(", multicast %.3f cycles (rel err %.2f%%)",
 				pred.Multicast, 100*noc.RelErr(pred.Multicast, res.Multicast))
 		}

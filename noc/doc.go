@@ -27,4 +27,11 @@
 // RegisterPattern add named builders that NewScenario resolves by name, so
 // new scenarios stay declarative. Topologies(), Routers() and Patterns()
 // enumerate what is available.
+//
+// Spec is the fully declarative, JSON-able form of a scenario: every
+// builtin option has a Spec field, Spec.Scenario compiles it, and the
+// canonical encoding's FNV-1a Fingerprint content-addresses its Result —
+// the key the noc/service layer (and the quarcd daemon) cache and
+// deduplicate evaluations under. ParseSpec is the strict entry point for
+// untrusted documents.
 package noc

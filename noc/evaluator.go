@@ -48,7 +48,7 @@ func (Model) Evaluate(s *Scenario) (Result, error) {
 	}
 	in := core.Input{
 		Router:         s.router,
-		Spec:           s.spec(),
+		Spec:           s.trafficSpec(),
 		MsgLen:         s.cfg.msgLen,
 		Damping:        s.cfg.damping,
 		MaxIter:        s.cfg.maxIter,
@@ -111,6 +111,16 @@ func (Simulator) evaluateRep(s *Scenario, rep int) (Result, error) {
 // it runs, resetting it instead of rebuilding per point.
 func (Simulator) forkWorker() Evaluator { return &pooledSimulator{} }
 
+// NewPooledSimulator returns a stateful Simulator that keeps one
+// wormhole network and workload alive across Evaluate calls, resetting
+// them in place whenever consecutive scenarios share their routed
+// topology (as Scenario.With and Spec.ScenarioWith forks do) — the same
+// reuse path a Sweep worker gets, exposed for long-lived serving layers
+// like noc/service. Results are bitwise-identical to the stateless
+// Simulator. The returned evaluator is NOT safe for concurrent use: give
+// each worker goroutine its own instance.
+func NewPooledSimulator() Evaluator { return &pooledSimulator{} }
+
 // pooledSimulator is the per-worker form of Simulator. It is not safe for
 // concurrent use; Sweep gives each worker goroutine its own instance.
 type pooledSimulator struct {
@@ -172,7 +182,7 @@ func simulate(s *Scenario, pool *networkPool, seed uint64) (Result, error) {
 			return Result{}, err
 		}
 	case s.cfg.record != nil:
-		w, err := traffic.NewWorkload(s.router, s.spec(), seed)
+		w, err := traffic.NewWorkload(s.router, s.trafficSpec(), seed)
 		if err != nil {
 			return Result{}, err
 		}
@@ -182,7 +192,7 @@ func simulate(s *Scenario, pool *networkPool, seed uint64) (Result, error) {
 			return Result{}, err
 		}
 	case pool != nil && pool.nw != nil && pool.rt == s.router:
-		if err := pool.wl.Reset(s.spec(), seed); err != nil {
+		if err := pool.wl.Reset(s.trafficSpec(), seed); err != nil {
 			return Result{}, err
 		}
 		if err := pool.nw.Reset(pool.wl, cfg); err != nil {
@@ -190,7 +200,7 @@ func simulate(s *Scenario, pool *networkPool, seed uint64) (Result, error) {
 		}
 		nw = pool.nw
 	default:
-		w, err := traffic.NewWorkload(s.router, s.spec(), seed)
+		w, err := traffic.NewWorkload(s.router, s.trafficSpec(), seed)
 		if err != nil {
 			return Result{}, err
 		}

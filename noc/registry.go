@@ -82,7 +82,7 @@ func (r *registry[T]) lookup(name string) (T, error) {
 	defer r.mu.RUnlock()
 	v, ok := r.m[name]
 	if !ok {
-		return v, fmt.Errorf("noc: unknown %s %q (known: %v)", r.kind, name, r.namesLocked())
+		return v, fmt.Errorf("%w: unknown %s %q (known: %v)", ErrInvalidOption, r.kind, name, r.namesLocked())
 	}
 	return v, nil
 }

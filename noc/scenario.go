@@ -1,13 +1,27 @@
 package noc
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"slices"
 	"strings"
 
 	"quarc/internal/routing"
 	"quarc/internal/topology"
 	"quarc/internal/traffic"
+)
+
+// Sentinel errors for scenario construction. Build-time validation wraps
+// one of these into every rejection, so callers (and tests) can classify
+// failures with errors.Is instead of string-matching.
+var (
+	// ErrOptionConflict marks option combinations that contradict each
+	// other (e.g. Record together with Replay).
+	ErrOptionConflict = errors.New("noc: conflicting scenario options")
+	// ErrInvalidOption marks out-of-range or nonsensical option values
+	// (e.g. a zero measurement window, replications < 1).
+	ErrInvalidOption = errors.New("noc: invalid scenario option")
 )
 
 // WaitFormula selects the M/G/1 waiting-time formula of the analytical
@@ -394,7 +408,7 @@ func Trace(node, limit int) Option {
 func Replications(n int) Option {
 	return func(cfg *config) error {
 		if n < 1 {
-			return fmt.Errorf("noc: replications %d < 1", n)
+			return fmt.Errorf("%w: replications %d < 1", ErrInvalidOption, n)
 		}
 		cfg.replications = n
 		return nil
@@ -528,19 +542,23 @@ func resolve(cfg config) (*Scenario, error) {
 
 	topo, err := buildTopo(cfg.topoCfg)
 	if err != nil {
-		return nil, err
+		// Builder rejections (bad sizes, mismatched families) are
+		// configuration mistakes like any other option error; wrap them
+		// in the sentinel so callers — the quarcd error mapping in
+		// particular — can classify them without string matching.
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
 	}
 	routerVal, err := buildRouter(topo)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
 	}
 	router, err := asRouter(routerVal)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
 	}
 	setVal, err := buildPattern(router, cfg.patCfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
 	}
 	set, ok := setVal.(routing.MulticastSet)
 	if !ok {
@@ -557,7 +575,7 @@ func resolve(cfg config) (*Scenario, error) {
 	}
 	destVal, err := buildSpatial(routerVal, cfg.spatialCfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
 	}
 	dest, ok := destVal.(traffic.Dest)
 	if !ok {
@@ -572,39 +590,58 @@ func resolve(cfg config) (*Scenario, error) {
 }
 
 // validate checks the resolved configuration; both NewScenario and the
-// fast path of With run it, so a *Scenario is always well-formed.
+// fast path of With run it, so a *Scenario is always well-formed. Every
+// rejection wraps ErrInvalidOption or ErrOptionConflict.
 func (s *Scenario) validate() error {
-	if err := s.spec().ValidateFor(s.router.Graph().Nodes()); err != nil {
-		return err
+	if err := s.trafficSpec().ValidateFor(s.router.Graph().Nodes()); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidOption, err)
 	}
 	if s.cfg.msgLen < 2 {
-		return fmt.Errorf("noc: message length %d too short", s.cfg.msgLen)
+		return fmt.Errorf("%w: message length %d too short (need >= 2 flits)", ErrInvalidOption, s.cfg.msgLen)
+	}
+	if s.cfg.measure <= 0 || math.IsNaN(s.cfg.measure) || math.IsInf(s.cfg.measure, 0) {
+		return fmt.Errorf("%w: measurement window %v must be a positive number of cycles", ErrInvalidOption, s.cfg.measure)
+	}
+	if s.cfg.warmup < 0 || math.IsNaN(s.cfg.warmup) || math.IsInf(s.cfg.warmup, 0) {
+		return fmt.Errorf("%w: warmup %v must be a non-negative number of cycles", ErrInvalidOption, s.cfg.warmup)
+	}
+	if s.cfg.satQueue < 0 {
+		return fmt.Errorf("%w: saturation queue threshold %d < 0", ErrInvalidOption, s.cfg.satQueue)
+	}
+	if s.cfg.traceEnabled {
+		if n := s.router.Graph().Nodes(); s.cfg.traceNode < 0 || s.cfg.traceNode >= n {
+			return fmt.Errorf("%w: trace node %d outside the %d-node network", ErrInvalidOption, s.cfg.traceNode, n)
+		}
+		if s.cfg.traceLimit < 0 {
+			return fmt.Errorf("%w: trace limit %d < 0", ErrInvalidOption, s.cfg.traceLimit)
+		}
 	}
 	if s.cfg.record != nil && s.cfg.replay != nil {
-		return fmt.Errorf("noc: a scenario cannot both record and replay a trace")
+		return fmt.Errorf("%w: a scenario cannot both record and replay a trace", ErrOptionConflict)
 	}
 	if (s.cfg.record != nil || s.cfg.replay != nil) && s.cfg.replications > 1 {
-		return fmt.Errorf("noc: trace record/replay requires Replications(1), got %d", s.cfg.replications)
+		return fmt.Errorf("%w: trace record/replay requires Replications(1), got %d", ErrOptionConflict, s.cfg.replications)
 	}
 	if s.cfg.replay != nil {
 		if s.cfg.replay.Empty() {
-			return fmt.Errorf("noc: replay of an empty trace (record one first, or read one)")
+			return fmt.Errorf("%w: replay of an empty trace (record one first, or read one)", ErrInvalidOption)
 		}
 		if got, want := s.cfg.replay.Nodes(), s.router.Graph().Nodes(); got != want {
-			return fmt.Errorf("noc: replaying a %d-node trace on a %d-node network", got, want)
+			return fmt.Errorf("%w: replaying a %d-node trace on a %d-node network", ErrOptionConflict, got, want)
 		}
 		if got, want := s.cfg.replay.tr.Topo, traffic.TopologyFingerprint(s.router.Graph()); got != 0 && got != want {
-			return fmt.Errorf("noc: the trace was captured on a different topology than the scenario's")
+			return fmt.Errorf("%w: the trace was captured on a different topology than the scenario's", ErrOptionConflict)
 		}
 		if got := s.cfg.replay.tr.MsgLen; got != 0 && got != s.cfg.msgLen {
-			return fmt.Errorf("noc: the trace was recorded with %d-flit messages, the scenario uses %d (set MsgLen(%d) to reproduce the recording)", got, s.cfg.msgLen, got)
+			return fmt.Errorf("%w: the trace was recorded with %d-flit messages, the scenario uses %d (set MsgLen(%d) to reproduce the recording)", ErrOptionConflict, got, s.cfg.msgLen, got)
 		}
 	}
 	return nil
 }
 
-// spec assembles the traffic specification both evaluators consume.
-func (s *Scenario) spec() traffic.Spec {
+// trafficSpec assembles the traffic specification both evaluators
+// consume (distinct from the public declarative Spec in spec.go).
+func (s *Scenario) trafficSpec() traffic.Spec {
 	return traffic.Spec{
 		Rate:          s.cfg.rate,
 		MulticastFrac: s.cfg.alpha,

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"quarc/noc"
+)
+
+// maxRequestBody bounds one request document. Specs are small; a larger
+// body is hostile or a client bug.
+const maxRequestBody = 1 << 20
+
+// Response headers identifying the served content and how it was
+// produced.
+const (
+	// HeaderFingerprint carries the spec's FNV-1a content address
+	// (hexadecimal, 16 digits).
+	HeaderFingerprint = "X-Quarc-Fingerprint"
+	// HeaderSource carries the response Source: computed, cache or
+	// coalesced.
+	HeaderSource = "X-Quarc-Source"
+)
+
+// SweepRequest is the POST /v1/sweep document: one spec plus the rate
+// grid to evaluate it across.
+type SweepRequest struct {
+	Spec  noc.Spec  `json:"spec"`
+	Rates []float64 `json:"rates"`
+}
+
+// SweepPoint is one rate sample of a sweep response.
+type SweepPoint struct {
+	Rate   float64    `json:"rate"`
+	Result noc.Result `json:"result"`
+}
+
+// SweepResponse is the POST /v1/sweep response body.
+type SweepResponse struct {
+	Fingerprint string       `json:"fingerprint"`
+	Points      []SweepPoint `json:"points"`
+}
+
+// Registry is the GET /v1/registry response body: every name the spec
+// codec accepts, straight from the noc registries.
+type Registry struct {
+	Topologies []string `json:"topologies"`
+	Routers    []string `json:"routers"`
+	Patterns   []string `json:"patterns"`
+	Arrivals   []string `json:"arrivals"`
+	Spatials   []string `json:"spatials"`
+	Evaluators []string `json:"evaluators"`
+}
+
+// Health is the GET /v1/healthz response body.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Stats         Stats   `json:"stats"`
+}
+
+// errorBody is every non-2xx response body.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHandler wraps the evaluator in the quarcd HTTP API:
+//
+//	POST /v1/evaluate  Spec JSON          -> Result JSON
+//	POST /v1/sweep     {spec, rates}      -> {fingerprint, points}
+//	GET  /v1/registry                     -> registered names
+//	GET  /v1/healthz                      -> status + cache/pool stats
+//
+// Evaluate and sweep responses carry X-Quarc-Fingerprint (the content
+// address) and X-Quarc-Source (computed/cache/coalesced).
+func NewHandler(e *Evaluator) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		sp, ok := decodeSpec(w, r)
+		if !ok {
+			return
+		}
+		res, src, err := e.Evaluate(r.Context(), sp)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set(HeaderFingerprint, fmt.Sprintf("%016x", sp.Fingerprint()))
+		w.Header().Set(HeaderSource, string(src))
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: reading request: %v", noc.ErrInvalidSpec, err))
+			return
+		}
+		// The embedded spec goes through the same strict ParseSpec as
+		// /v1/evaluate: a typo'd field must 400 here too, not silently
+		// sweep the default value.
+		var raw struct {
+			Spec  json.RawMessage `json:"spec"`
+			Rates []float64       `json:"rates"`
+		}
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&raw); err != nil {
+			writeError(w, fmt.Errorf("%w: %v", noc.ErrInvalidSpec, err))
+			return
+		}
+		if len(raw.Spec) == 0 {
+			writeError(w, fmt.Errorf("%w: a sweep request needs a spec", noc.ErrInvalidSpec))
+			return
+		}
+		req := SweepRequest{Rates: raw.Rates}
+		if req.Spec, err = noc.ParseSpec(raw.Spec); err != nil {
+			writeError(w, err)
+			return
+		}
+		results, err := e.Sweep(r.Context(), req.Spec, req.Rates)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp := SweepResponse{
+			Fingerprint: fmt.Sprintf("%016x", req.Spec.Fingerprint()),
+			Points:      make([]SweepPoint, len(results)),
+		}
+		for i, res := range results {
+			resp.Points[i] = SweepPoint{Rate: req.Rates[i], Result: res}
+		}
+		w.Header().Set(HeaderFingerprint, resp.Fingerprint)
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/registry", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Registry{
+			Topologies: noc.Topologies(),
+			Routers:    noc.Routers(),
+			Patterns:   noc.Patterns(),
+			Arrivals:   noc.Arrivals(),
+			Spatials:   noc.Spatials(),
+			Evaluators: []string{"model", "simulator"},
+		})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Health{
+			Status:        "ok",
+			UptimeSeconds: time.Since(start).Seconds(),
+			Stats:         e.Stats(),
+		})
+	})
+	return mux
+}
+
+// decodeSpec reads and strictly parses the request body as a Spec,
+// writing the error response itself on failure.
+func decodeSpec(w http.ResponseWriter, r *http.Request) (noc.Spec, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading request: %v", noc.ErrInvalidSpec, err))
+		return noc.Spec{}, false
+	}
+	sp, err := noc.ParseSpec(body)
+	if err != nil {
+		writeError(w, err)
+		return noc.Spec{}, false
+	}
+	return sp, true
+}
+
+// writeError maps service/spec errors onto HTTP statuses: client
+// mistakes are 400s, a closing server is 503, cancellations map to the
+// client-gone 499 convention, anything else is a 500.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, noc.ErrInvalidSpec), errors.Is(err, noc.ErrInvalidOption),
+		errors.Is(err, noc.ErrOptionConflict), errors.Is(err, ErrTraceSpec),
+		errors.Is(err, noc.ErrModelInapplicable):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = 499 // client closed request (nginx convention)
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

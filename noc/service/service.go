@@ -1,0 +1,391 @@
+// Package service is the engine-resident serving layer of the quarc
+// reproduction: a content-addressed result cache, singleflight
+// deduplication and a bounded worker pool in front of the noc
+// evaluators. One long-lived Evaluator serves many declarative noc.Spec
+// requests (the quarcd daemon's backend), with three layers of reuse:
+//
+//   - identical specs (same canonical encoding) hit the LRU Result cache
+//     and never evaluate twice;
+//   - identical specs in flight at the same time coalesce onto one
+//     evaluation (singleflight);
+//   - structurally identical specs (same topology/pattern/spatial
+//     sub-spec) share one compiled base scenario, so workers reuse
+//     routing tables and their pooled wormhole networks across requests,
+//     exactly like a noc.Sweep worker does across points.
+//
+// Every response is bitwise-identical to evaluating the spec cold with
+// noc.Simulator/noc.Model directly — caching and pooling are pure
+// memoization (pinned by the package tests).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"quarc/noc"
+)
+
+// Sentinel errors; match with errors.Is.
+var (
+	// ErrClosed reports an Evaluate/Sweep call against a Close()d
+	// evaluator.
+	ErrClosed = errors.New("service: evaluator is closed")
+	// ErrTraceSpec rejects specs that ask for trace record/replay: both
+	// resolve file paths on the server, which a network-facing service
+	// must not do on a client's behalf.
+	ErrTraceSpec = errors.New("service: trace record/replay specs are not servable")
+)
+
+// maxSweepPoints bounds one sweep request's rate grid.
+const maxSweepPoints = 1024
+
+// Config sizes an Evaluator. The zero value selects the defaults.
+type Config struct {
+	// CacheEntries bounds the Result cache (default 1024 entries).
+	CacheEntries int
+	// ScenarioEntries bounds the compiled base-scenario cache (default
+	// 64 entries).
+	ScenarioEntries int
+	// Workers bounds the concurrent evaluations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-job buffer (default 4*Workers).
+	// Submitters past it block until a worker frees up or their context
+	// expires.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.ScenarioEntries <= 0 {
+		c.ScenarioEntries = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	return c
+}
+
+// Source reports how a response was produced.
+type Source string
+
+const (
+	// SourceComputed means this request ran the evaluation.
+	SourceComputed Source = "computed"
+	// SourceCache means the Result came from the content-addressed cache.
+	SourceCache Source = "cache"
+	// SourceCoalesced means the request joined an identical in-flight
+	// evaluation (singleflight).
+	SourceCoalesced Source = "coalesced"
+)
+
+// Stats is a point-in-time snapshot of the evaluator's counters.
+type Stats struct {
+	// Hits/Misses/Coalesced classify Evaluate calls: cache hit, cold
+	// evaluation started, joined an in-flight evaluation.
+	Hits      uint64 `json:"cache_hits"`
+	Misses    uint64 `json:"cache_misses"`
+	Coalesced uint64 `json:"coalesced"`
+	// Evaluations counts evaluations actually executed by the pool;
+	// Evictions counts cache entries dropped by the LRU bound.
+	Evaluations uint64 `json:"evaluations"`
+	Evictions   uint64 `json:"evictions"`
+	// CachedResults/CachedScenarios/InFlight are current occupancy.
+	CachedResults   int `json:"cached_results"`
+	CachedScenarios int `json:"cached_scenarios"`
+	InFlight        int `json:"in_flight"`
+	// Workers echoes the pool size.
+	Workers int `json:"workers"`
+}
+
+// flight is one in-progress evaluation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	res  noc.Result
+	err  error
+}
+
+// job is one queued evaluation.
+type job struct {
+	key string
+	sp  noc.Spec
+	f   *flight
+}
+
+// Evaluator is the engine-resident serving core. It is safe for
+// concurrent use by any number of goroutines.
+type Evaluator struct {
+	cfg  Config
+	jobs chan job
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	mu      sync.Mutex
+	results *lruCache[noc.Result]
+	bases   *lruCache[*noc.Scenario]
+	flights map[string]*flight
+
+	hits, misses, coalesced atomic.Uint64
+	evaluations, evictions  atomic.Uint64
+}
+
+// New starts an evaluator with cfg.Workers resident workers, each owning
+// a pooled Simulator fork. Close it when done.
+func New(cfg Config) *Evaluator {
+	cfg = cfg.withDefaults()
+	e := &Evaluator{
+		cfg:     cfg,
+		jobs:    make(chan job, cfg.QueueDepth),
+		done:    make(chan struct{}),
+		results: newLRU[noc.Result](cfg.CacheEntries),
+		bases:   newLRU[*noc.Scenario](cfg.ScenarioEntries),
+		flights: make(map[string]*flight),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops the workers (after their current evaluations finish) and
+// fails any jobs still queued with ErrClosed. It is idempotent.
+func (e *Evaluator) Close() {
+	e.once.Do(func() {
+		close(e.done)
+		e.wg.Wait()
+		for {
+			select {
+			case j := <-e.jobs:
+				e.resolve(j, noc.Result{}, ErrClosed)
+			default:
+				return
+			}
+		}
+	})
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Evaluator) Stats() Stats {
+	e.mu.Lock()
+	cachedResults, cachedScenarios, inFlight := e.results.len(), e.bases.len(), len(e.flights)
+	e.mu.Unlock()
+	return Stats{
+		Hits:            e.hits.Load(),
+		Misses:          e.misses.Load(),
+		Coalesced:       e.coalesced.Load(),
+		Evaluations:     e.evaluations.Load(),
+		Evictions:       e.evictions.Load(),
+		CachedResults:   cachedResults,
+		CachedScenarios: cachedScenarios,
+		InFlight:        inFlight,
+		Workers:         e.cfg.Workers,
+	}
+}
+
+// Evaluate serves one spec: from the cache when its canonical encoding
+// was evaluated before, by joining an identical in-flight evaluation, or
+// by scheduling a fresh evaluation on the worker pool. The returned
+// Source says which; cached and cold responses for the same spec are
+// bitwise identical.
+func (e *Evaluator) Evaluate(ctx context.Context, sp noc.Spec) (noc.Result, Source, error) {
+	if err := sp.Validate(); err != nil {
+		return noc.Result{}, "", err
+	}
+	if sp.Record != "" || sp.Replay != "" {
+		return noc.Result{}, "", ErrTraceSpec
+	}
+	cjson, err := sp.CanonicalJSON()
+	if err != nil {
+		return noc.Result{}, "", fmt.Errorf("service: encoding spec: %w", err)
+	}
+	key := string(cjson)
+
+	e.mu.Lock()
+	if res, ok := e.results.get(key); ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		return res, SourceCache, nil
+	}
+	if f, ok := e.flights[key]; ok {
+		e.mu.Unlock()
+		e.coalesced.Add(1)
+		res, err := e.wait(ctx, f)
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The submitting caller gave up before its job reached the
+			// queue and failed the shared flight with its own context
+			// error; ours is still live, so take over with a fresh
+			// attempt instead of propagating a foreign cancellation.
+			return e.Evaluate(ctx, sp)
+		}
+		return res, SourceCoalesced, err
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[key] = f
+	e.mu.Unlock()
+	e.misses.Add(1)
+
+	select {
+	case e.jobs <- job{key: key, sp: sp, f: f}:
+	case <-ctx.Done():
+		e.resolve(job{key: key, f: f}, noc.Result{}, ctx.Err())
+		return noc.Result{}, "", ctx.Err()
+	case <-e.done:
+		e.resolve(job{key: key, f: f}, noc.Result{}, ErrClosed)
+		return noc.Result{}, "", ErrClosed
+	}
+	res, err := e.wait(ctx, f)
+	return res, SourceComputed, err
+}
+
+// Sweep evaluates the spec across a rate grid on the shared pool — one
+// content-addressed job per rate, so repeated and overlapping sweeps
+// deduplicate point-wise. Results are returned in rate order.
+func (e *Evaluator) Sweep(ctx context.Context, sp noc.Spec, rates []float64) ([]noc.Result, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("%w: a sweep needs at least one rate", noc.ErrInvalidSpec)
+	}
+	if len(rates) > maxSweepPoints {
+		return nil, fmt.Errorf("%w: %d sweep points exceed the %d-point bound", noc.ErrInvalidSpec, len(rates), maxSweepPoints)
+	}
+	for _, r := range rates {
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return nil, fmt.Errorf("%w: invalid sweep rate %v", noc.ErrInvalidSpec, r)
+		}
+	}
+	results := make([]noc.Result, len(rates))
+	errs := make([]error, len(rates))
+	var wg sync.WaitGroup
+	for i, r := range rates {
+		pt := sp
+		pt.Rate = r
+		wg.Add(1)
+		go func(i int, pt noc.Spec) {
+			defer wg.Done()
+			results[i], _, errs[i] = e.Evaluate(ctx, pt)
+		}(i, pt)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("service: sweep point rate=%g: %w", rates[i], err)
+		}
+	}
+	return results, nil
+}
+
+// wait blocks until the flight resolves, the caller's context expires or
+// the evaluator closes. An abandoned flight still completes and caches
+// its result for the next request.
+func (e *Evaluator) wait(ctx context.Context, f *flight) (noc.Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return noc.Result{}, ctx.Err()
+	case <-e.done:
+		// The pool is shutting down; the flight may never run. Give a
+		// resolved flight precedence over the shutdown signal.
+		select {
+		case <-f.done:
+			return f.res, f.err
+		default:
+			return noc.Result{}, ErrClosed
+		}
+	}
+}
+
+// resolve publishes a flight's outcome (caching successes) and wakes its
+// waiters.
+func (e *Evaluator) resolve(j job, res noc.Result, err error) {
+	e.mu.Lock()
+	if err == nil {
+		e.evictions.Add(uint64(e.results.add(j.key, res)))
+	}
+	delete(e.flights, j.key)
+	e.mu.Unlock()
+	j.f.res, j.f.err = res, err
+	close(j.f.done)
+}
+
+// worker is one resident evaluation loop. Each worker owns a pooled
+// Simulator fork, so consecutive jobs that share a base scenario reuse
+// one wormhole network via its in-place Reset (the PR 2/3 hot path).
+func (e *Evaluator) worker() {
+	defer e.wg.Done()
+	sim := noc.NewPooledSimulator()
+	for {
+		select {
+		case <-e.done:
+			return
+		case j := <-e.jobs:
+			res, err := e.evaluateSpec(j.sp, sim)
+			e.evaluations.Add(1)
+			e.resolve(j, res, err)
+		}
+	}
+}
+
+// evaluateSpec compiles and runs one spec on this worker. Compilation
+// goes through the shared base-scenario cache: the spec's structural
+// sub-spec (topology, pattern, spatial) resolves to one base Scenario
+// reused by every structurally identical request, and the tuning options
+// are layered on top with Scenario.With — bitwise-identical to a cold
+// Spec.Scenario build. Replications run serially inside the worker
+// (Parallelism(1)), so the pool's Workers bound is the only concurrency;
+// the aggregate is bitwise-independent of that choice.
+func (e *Evaluator) evaluateSpec(sp noc.Spec, sim noc.Evaluator) (noc.Result, error) {
+	base, err := e.baseFor(sp)
+	if err != nil {
+		return noc.Result{}, err
+	}
+	s, err := sp.ScenarioWith(base)
+	if err != nil {
+		return noc.Result{}, err
+	}
+	if s, err = s.With(noc.Parallelism(1)); err != nil {
+		return noc.Result{}, err
+	}
+	if sp.Canonical().Evaluator == "model" {
+		return noc.Model{}.Evaluate(s)
+	}
+	return sim.Evaluate(s)
+}
+
+// baseFor returns the shared compiled scenario for the spec's structural
+// sub-spec, compiling and caching it on first use. Two workers racing on
+// a cold key may compile twice; the cache keeps one and both builds are
+// equivalent, so this is a benign inefficiency, not a correctness issue.
+func (e *Evaluator) baseFor(sp noc.Spec) (*noc.Scenario, error) {
+	st := sp.Structural()
+	cjson, err := st.CanonicalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding structural spec: %w", err)
+	}
+	key := string(cjson)
+	e.mu.Lock()
+	base, ok := e.bases.get(key)
+	e.mu.Unlock()
+	if ok {
+		return base, nil
+	}
+	base, err = st.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.bases.add(key, base)
+	e.mu.Unlock()
+	return base, nil
+}

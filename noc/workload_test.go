@@ -256,7 +256,7 @@ func TestRecordReplayValidation(t *testing.T) {
 func TestPermutationBuilders(t *testing.T) {
 	permOf := func(t *testing.T, s *Scenario) []int {
 		t.Helper()
-		spec := s.spec()
+		spec := s.trafficSpec()
 		if spec.Perm == nil {
 			t.Fatal("scenario has no permutation")
 		}

@@ -1,0 +1,80 @@
+// Command quarclint runs the repository's own static-analysis pass: the
+// determinism, hot-path purity, error-discipline and registry-hygiene
+// checkers in internal/lint, over the packages matched by the given
+// patterns (default ./...).
+//
+// Usage:
+//
+//	go run ./cmd/quarclint [-json] [-C dir] [packages...]
+//
+// Exit status is 0 when the tree is clean, 1 when diagnostics were
+// reported, and 2 when the analysis itself failed (unparseable source,
+// toolchain errors). With -json the diagnostics are emitted as one JSON
+// document on stdout — the machine-readable form CI uploads as an
+// artifact on failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"quarc/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	dir := flag.String("C", ".", "run the analysis rooted at this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: quarclint [-json] [-C dir] [packages...]\n\nCheckers: %v\n", lint.Checkers())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	base, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quarclint: %v\n", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := lint.Load(base, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quarclint: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := lint.DefaultConfig()
+	cfg.BaseDir = base
+	diags := lint.Run(pkgs, cfg)
+
+	if *jsonOut {
+		doc := struct {
+			Diagnostics []lint.Diagnostic `json:"diagnostics"`
+			Count       int               `json:"count"`
+		}{Diagnostics: diags, Count: len(diags)}
+		if doc.Diagnostics == nil {
+			doc.Diagnostics = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "quarclint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "quarclint: %d diagnostic(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

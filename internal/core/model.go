@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"quarc/internal/routing"
 	"quarc/internal/topology"
@@ -217,11 +218,20 @@ func NewModel(in Input) (*Model, error) {
 		}
 	}
 
-	// Materialize the transition lists.
-	for key, rate := range m.pairRate {
+	// Materialize the transition lists in sorted key order: ranging the
+	// map directly would order each channel's transitions by map hash,
+	// and the fixed point sums transition rates in list order — float
+	// addition is not associative, so the solution would differ in the
+	// low bits from process to process.
+	keys := make([]uint64, 0, len(m.pairRate))
+	for key := range m.pairRate {
+		keys = append(keys, key)
+	}
+	slices.Sort(keys)
+	for _, key := range keys {
 		from := int(key >> 32)
 		to := int(key & 0xffffffff)
-		m.channels[from].next = append(m.channels[from].next, transition{to: to, rate: rate})
+		m.channels[from].next = append(m.channels[from].next, transition{to: to, rate: m.pairRate[key]})
 	}
 	return m, nil
 }

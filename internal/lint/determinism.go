@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkDeterminism enforces the simulation-result purity surface: in the
+// configured packages (everything reachable from a wormhole Result) a
+// run must be a pure function of (topology, spec, seed). Wall clocks,
+// the process-global math/rand state, map iteration order, goroutine
+// interleavings and multi-ready selects all smuggle in external state,
+// so none of them may appear — a stray one would break bitwise
+// replication in ways the golden tests only catch when a topology or
+// seed changes.
+func checkDeterminism(cx *context) {
+	if !cx.cfg.isDeterminism(cx.pkg.Path) {
+		return
+	}
+	for _, f := range cx.pkg.Files {
+		for _, imp := range f.Imports {
+			switch importPath(imp) {
+			case "time":
+				cx.reportf(imp.Pos(), `import of "time": wall-clock state on the simulation result path; simulated time is the engine clock`)
+			case "math/rand":
+				cx.reportf(imp.Pos(), `import of "math/rand": use a seeded math/rand/v2 PCG instance`)
+			}
+		}
+		sorted := cx.sortingFuncs(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				cx.checkGlobalRand(n)
+			case *ast.RangeStmt:
+				if t := cx.typeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && !sorted[enclosingFunc(f, n.Pos())] {
+						cx.reportf(n.Pos(), "map iteration order is nondeterministic: collect and sort the keys (or range over a slice)")
+					}
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, cl := range n.Body.List {
+					if cl.(*ast.CommClause).Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					cx.reportf(n.Pos(), "select over %d channels resolves multi-ready races nondeterministically", comm)
+				}
+			case *ast.GoStmt:
+				cx.reportf(n.Pos(), "goroutine on the simulation result path: interleavings are nondeterministic (parallelism belongs at the replication layer)")
+			}
+			return true
+		})
+	}
+}
+
+// checkGlobalRand flags package-level math/rand/v2 calls: they share the
+// process-global generator, so concurrent sweep workers would interleave
+// draws. Only the explicit seeded constructors are allowed.
+func (cx *context) checkGlobalRand(sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := cx.pkg.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "math/rand/v2" {
+		return
+	}
+	switch sel.Sel.Name {
+	case "New", "NewPCG", "Rand", "PCG", "Source":
+		return // seeded construction and type names
+	}
+	cx.reportf(sel.Pos(), "rand.%s draws from the process-global generator: use a seeded *rand.Rand (rand.New(rand.NewPCG(seed, stream)))", sel.Sel.Name)
+}
+
+func importPath(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	if len(p) >= 2 {
+		return p[1 : len(p)-1]
+	}
+	return p
+}
+
+// sortingFuncs returns the set of function declarations in f whose body
+// calls a recognized sort routine. A map range inside such a function is
+// the canonical collect-keys-then-sort idiom and is deterministic once
+// sorted, so it is exempt from the map-iteration diagnostic.
+func (cx *context) sortingFuncs(f *ast.File) map[*ast.FuncDecl]bool {
+	out := make(map[*ast.FuncDecl]bool)
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := cx.pkg.TypesInfo.Uses[id].(*types.PkgName); ok {
+						switch pn.Imported().Path() {
+						case "sort", "slices":
+							out[fd] = true
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// enclosingFunc returns the function declaration containing pos, or nil.
+func enclosingFunc(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errorIface is the universe error interface, for Implements queries.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// checkErrDiscipline enforces the PR 4/5 sentinel conventions
+// everywhere: callers branch on sentinels (ErrInvalidOption,
+// ErrModelInapplicable, ...) with errors.Is so wrapped chains keep
+// matching, and wrapping sites use %w so the chain exists in the first
+// place. A == comparison or a %v-flattened error silently breaks the
+// contract one layer away from where it was written.
+func checkErrDiscipline(cx *context) {
+	for _, f := range cx.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					cx.checkSentinelCompare(n)
+				}
+			case *ast.CallExpr:
+				cx.checkErrorfWrap(n)
+				cx.checkErrorsNewSprintf(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkSentinelCompare flags x == ErrFoo / x != ErrFoo where ErrFoo is a
+// package-level error variable following the Err* naming convention.
+func (cx *context) checkSentinelCompare(be *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if name, ok := cx.sentinelName(side); ok {
+			cx.reportf(be.Pos(), "sentinel %s compared with %s: use errors.Is so wrapped chains keep matching", name, be.Op)
+			return
+		}
+	}
+}
+
+// sentinelName resolves an identifier or pkg.Ident to a package-level
+// error variable named Err*.
+func (cx *context) sentinelName(e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj, ok := cx.pkg.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || len(obj.Name()) <= 3 {
+		return "", false
+	}
+	if !types.Implements(obj.Type(), errorIface) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error operand
+// with a flattening verb (%v, %s, %q) instead of wrapping it with %w.
+func (cx *context) checkErrorfWrap(call *ast.CallExpr) {
+	if !cx.isPkgFunc(call.Fun, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	for _, v := range formatVerbs(format) {
+		if v.verb == 'w' {
+			continue
+		}
+		argIdx := 1 + v.arg
+		if argIdx >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[argIdx]
+		t := cx.typeOf(arg)
+		if t == nil || !types.Implements(t, errorIface) {
+			continue
+		}
+		cx.reportf(arg.Pos(), "error formatted with %%%c loses the chain: wrap it with %%w so errors.Is still matches the sentinel", v.verb)
+	}
+}
+
+// checkErrorsNewSprintf flags errors.New(fmt.Sprintf(...)): fmt.Errorf
+// says the same thing and leaves room to wrap.
+func (cx *context) checkErrorsNewSprintf(call *ast.CallExpr) {
+	if !cx.isPkgFunc(call.Fun, "errors", "New") || len(call.Args) != 1 {
+		return
+	}
+	inner, ok := call.Args[0].(*ast.CallExpr)
+	if ok && cx.isPkgFunc(inner.Fun, "fmt", "Sprintf") {
+		cx.reportf(call.Pos(), "errors.New(fmt.Sprintf(...)): use fmt.Errorf")
+	}
+}
+
+// isPkgFunc reports whether fun is a selector pkg.Name for the given
+// import path's package name.
+func (cx *context) isPkgFunc(fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := cx.pkg.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// verbRef is one formatting verb and the index of the operand it
+// consumes (0-based over the variadic arguments).
+type verbRef struct {
+	verb rune
+	arg  int
+}
+
+// formatVerbs maps each verb in a Printf-style format string to its
+// operand index, accounting for %%, flags, width/precision and
+// *-consumed operands. Explicit argument indexes (%[n]d) abort the scan
+// — none appear in this codebase and mis-mapping would misfire.
+func formatVerbs(format string) []verbRef {
+	var out []verbRef
+	arg := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(rs) {
+			c := rs[i]
+			if c == '[' {
+				return nil // explicit argument index: bail out
+			}
+			if c == '*' {
+				arg++ // width/precision operand
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0.", c) || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(rs) {
+			break
+		}
+		out = append(out, verbRef{verb: rs[i], arg: arg})
+		arg++
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+// Package det is the determinism checker's known-bad fixture: every
+// construct that smuggles external state into a simulation run, plus
+// the allowed idioms that must stay diagnostic-free.
+package det
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock: the "time" import is the diagnostic.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Draw uses the process-global generator.
+func Draw() float64 { return rand.Float64() }
+
+// Seeded constructs an explicit PCG: allowed.
+func Seeded(seed uint64) float64 { return rand.New(rand.NewPCG(seed, 1)).Float64() }
+
+// Keys collects map keys without sorting: flagged by determinism (map
+// iteration order) and by registryhygiene (unsorted enumeration).
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the canonical collect-then-sort idiom: allowed.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Race resolves whichever channel is ready first: nondeterministic.
+func Race(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Spawn starts a goroutine on the result path.
+func Spawn(f func()) { go f() }
+
+// Count ranges a map commutatively under an explicit waiver: the ignore
+// directive suppresses the determinism diagnostic.
+func Count(m map[string]int) int {
+	n := 0
+	for range m { //quarclint:ignore determinism integer count is iteration-order independent
+		n++
+	}
+	return n
+}
+
+// Bad ranges a map under a malformed waiver (no reason): the directive
+// itself becomes the diagnostic, and the determinism finding stands.
+func Bad(m map[string]int) int {
+	n := 0
+	for range m { //quarclint:ignore determinism
+		n++
+	}
+	return n
+}

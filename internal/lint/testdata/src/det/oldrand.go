@@ -1,0 +1,6 @@
+package det
+
+import oldrand "math/rand"
+
+// Old uses the frozen math/rand package: the import is the diagnostic.
+func Old() int { return oldrand.Int() }

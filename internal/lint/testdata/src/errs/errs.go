@@ -1,0 +1,43 @@
+// Package errs is the errdiscipline checker's known-bad fixture:
+// sentinel comparisons and wrapping sites on both sides of the
+// convention.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package's sentinel.
+var ErrBad = errors.New("bad")
+
+// Check compares the sentinel with ==.
+func Check(err error) bool { return err == ErrBad }
+
+// CheckNot compares the sentinel with !=.
+func CheckNot(err error) bool { return err != ErrBad }
+
+// CheckIs matches through the chain: allowed.
+func CheckIs(err error) bool { return errors.Is(err, ErrBad) }
+
+// NilCheck compares against nil: allowed.
+func NilCheck(err error) bool { return err == nil }
+
+// Wrap flattens the error with %v: the chain is lost.
+func Wrap(err error) error { return fmt.Errorf("reading spec: %v", err) }
+
+// WrapString flattens with %s.
+func WrapString(err error) error { return fmt.Errorf("reading spec: %s", err) }
+
+// WrapOK wraps with %w: allowed.
+func WrapOK(err error) error { return fmt.Errorf("reading spec: %w", err) }
+
+// WrapBoth wraps a sentinel and a cause: allowed.
+func WrapBoth(err error) error { return fmt.Errorf("%w: %w", ErrBad, err) }
+
+// News builds an error from Sprintf: fmt.Errorf says the same thing.
+func News(n int) error { return errors.New(fmt.Sprintf("n=%d", n)) }
+
+// Starred mixes a *-width verb before the error operand: the verb/
+// operand mapping must survive the extra argument.
+func Starred(err error) error { return fmt.Errorf("pad %*d: %v", 8, 1, err) }

@@ -1,0 +1,3 @@
+module quarclint.example
+
+go 1.22

@@ -1,0 +1,50 @@
+// Package hot is the hotpath checker's known-bad fixture. The test
+// configures the bench list as {Cold, Hot, Missing}: Hot carries the
+// directive and violates every purity rule, Cold lacks the directive it
+// owes, Missing is not declared at all, and Rogue carries a directive
+// the list does not sanction.
+package hot
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type event struct {
+	kind int
+	data any
+}
+
+func sink(v any) {}
+
+//quarc:hotpath
+func Hot(xs []int, flag bool) int {
+	fmt.Println(xs)              // fmt call
+	f := func() int { return 1 } // closure
+	p := &point{1, 2}            // heap-escaping composite literal
+	s := []int{1, 2, 3}          // slice literal
+	m := make(map[int]int)       // make
+	b := any(42)                 // explicit boxing conversion
+	sink(7)                      // boxing into a variadic-free any parameter
+	e := event{kind: 1, data: 9} // boxing into an interface field
+	g := event{kind: 2, data: p} // pointer payload: allowed
+	if flag {
+		panic(fmt.Sprintf("cold path %d", len(xs))) // panic path: exempt
+	}
+	return f() + p.x + s[0] + len(m) + b.(int) + e.kind + g.kind
+}
+
+// Cold is on the bench list but lacks the directive.
+func Cold() {}
+
+// Rogue carries the directive without being on the bench list.
+//
+//quarc:hotpath
+func Rogue() {}
+
+// plain is outside the contract entirely: no diagnostics.
+func plain() int {
+	q := &point{3, 4}
+	return q.y
+}
+
+var _ = plain

@@ -87,6 +87,8 @@ func (q *calQueue) len() int { return q.count + len(q.overflow) }
 // dayOf maps a time to its day index. It must stay one fixed monotone
 // function of t between geometry rebuilds — insert and pop both key off
 // it, so any disagreement would strand an event in a never-probed slot.
+//
+//quarc:hotpath
 func (q *calQueue) dayOf(t float64) int64 {
 	d := t * q.invWidth
 	if d >= float64(calMaxDay) {
@@ -157,6 +159,8 @@ func (q *calQueue) makeBuckets(nb int) {
 
 // push inserts it; now is the engine clock, a lower bound for it.t used
 // to anchor the geometry.
+//
+//quarc:hotpath
 func (q *calQueue) push(it item, now float64) {
 	if q.buckets == nil {
 		q.init(now)
@@ -168,6 +172,8 @@ func (q *calQueue) push(it item, now float64) {
 }
 
 // insert places it into its ring slot or the overflow heap.
+//
+//quarc:hotpath
 func (q *calQueue) insert(it item) {
 	d := q.dayOf(it.t)
 	if d >= q.day+q.horizonDays {
@@ -208,6 +214,7 @@ func (q *calQueue) insert(it item) {
 	q.count++
 }
 
+//quarc:hotpath
 func lessItem(a, b item) bool {
 	if a.t != b.t {
 		return a.t < b.t
@@ -217,6 +224,8 @@ func lessItem(a, b item) bool {
 
 // migrate moves overflow events that entered the ring horizon (the
 // current day advanced toward them) into their buckets.
+//
+//quarc:hotpath
 func (q *calQueue) migrate() {
 	for len(q.overflow) > 0 && q.dayOf(q.overflow[0].t) < q.day+q.horizonDays {
 		q.insert(q.overflow.pop())
@@ -224,6 +233,8 @@ func (q *calQueue) migrate() {
 }
 
 // pop removes and returns the earliest (t, seq) event.
+//
+//quarc:hotpath
 func (q *calQueue) pop() (item, bool) {
 	if q.len() == 0 {
 		return item{}, false

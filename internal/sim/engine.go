@@ -79,6 +79,7 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//quarc:hotpath
 func (h *eventHeap) push(it item) {
 	hh := append(*h, it)
 	i := len(hh) - 1
@@ -93,6 +94,7 @@ func (h *eventHeap) push(it item) {
 	*h = hh
 }
 
+//quarc:hotpath
 func (h *eventHeap) pop() item {
 	hh := *h
 	n := len(hh) - 1
@@ -199,6 +201,8 @@ func (e *Engine) SchedulerName() string {
 
 // Schedule schedules ev to fire at absolute time t. Scheduling in the past
 // (t < Now) panics: it always indicates a logic error in the caller.
+//
+//quarc:hotpath
 func (e *Engine) Schedule(t float64, ev Event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -230,6 +234,8 @@ func (e *Engine) HintSchedule(span float64, pending int) {
 // would have occupied, then schedules the few events it does materialize
 // into those slots via ScheduleSeq: same-time tie-breaking — and with it
 // the whole run — stays bitwise identical to the uncoalesced schedule.
+//
+//quarc:hotpath
 func (e *Engine) ReserveSeq(n int) uint64 {
 	base := e.seq + 1
 	e.seq += uint64(n)
@@ -240,6 +246,8 @@ func (e *Engine) ReserveSeq(n int) uint64 {
 // number previously obtained from ReserveSeq. Reusing a live sequence
 // number is a logic error (two events would tie exactly); the engine does
 // not check for it.
+//
+//quarc:hotpath
 func (e *Engine) ScheduleSeq(t float64, seq uint64, ev Event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -276,6 +284,7 @@ func (e *Engine) Run(horizon float64) float64 { return e.run(horizon, true) }
 // everything in [a, b].
 func (e *Engine) RunBefore(horizon float64) float64 { return e.run(horizon, false) }
 
+//quarc:hotpath
 func (e *Engine) run(horizon float64, inclusive bool) float64 {
 	e.stopped = false
 	for !e.stopped {
@@ -317,6 +326,7 @@ func (e *Engine) run(horizon float64, inclusive bool) float64 {
 // RunAll executes events until none remain or Stop is called.
 func (e *Engine) RunAll() float64 { return e.Run(math.Inf(1)) }
 
+//quarc:hotpath
 func (e *Engine) push(it item) {
 	if e.useHeap {
 		e.heap.push(it)

@@ -97,6 +97,7 @@ type poissonArrival struct{}
 
 func (poissonArrival) ValidateSpec(s Spec) error { return nil }
 
+//quarc:hotpath
 func (poissonArrival) Gap(s *Spec, rng *rand.Rand, st *ArrivalState) float64 {
 	return rng.ExpFloat64() / s.Rate
 }
@@ -114,6 +115,7 @@ func (bernoulliArrival) ValidateSpec(s Spec) error {
 	return nil
 }
 
+//quarc:hotpath
 func (bernoulliArrival) Gap(s *Spec, rng *rand.Rand, st *ArrivalState) float64 {
 	return geometric(rng, s.Rate)
 }
@@ -122,6 +124,8 @@ func (bernoulliArrival) Gap(s *Spec, rng *rand.Rand, st *ArrivalState) float64 {
 // success probability p by inverting one uniform: the smallest k with
 // 1-(1-p)^k > u. For p == 1 the log ratio is 0 against -Inf, giving k = 1
 // deterministically.
+//
+//quarc:hotpath
 func geometric(rng *rand.Rand, p float64) float64 {
 	u := rng.Float64()
 	return math.Floor(math.Log1p(-u)/math.Log1p(-p)) + 1
@@ -146,6 +150,7 @@ func (onoffArrival) ValidateSpec(s Spec) error {
 	return nil
 }
 
+//quarc:hotpath
 func (onoffArrival) Gap(s *Spec, rng *rand.Rand, st *ArrivalState) float64 {
 	lamOn := s.Rate / s.DutyCycle
 	if st.BurstLeft > 0 {
@@ -168,6 +173,7 @@ type periodicArrival struct{}
 
 func (periodicArrival) ValidateSpec(s Spec) error { return nil }
 
+//quarc:hotpath
 func (periodicArrival) Gap(s *Spec, rng *rand.Rand, st *ArrivalState) float64 {
 	period := 1 / s.Rate
 	if !st.Started {

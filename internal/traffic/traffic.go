@@ -489,6 +489,8 @@ func checkHotspot(spec Spec, n int) error {
 
 // Interarrival draws the gap until node's next message from the spec's
 // arrival process (exponential under the default "poisson").
+//
+//quarc:hotpath
 func (w *Workload) Interarrival(node topology.NodeID) float64 {
 	if w.spec.Rate <= 0 || w.spec.Silent(node) {
 		return math.Inf(1)
@@ -500,6 +502,8 @@ func (w *Workload) Interarrival(node topology.NodeID) float64 {
 // probability α, otherwise a unicast whose destination comes from the
 // spec's spatial pattern (uniform by default; fixed under a permutation;
 // weighted under a weight matrix; hotspot-skewed under HotspotFrac).
+//
+//quarc:hotpath
 func (w *Workload) Next(node topology.NodeID) ([]routing.Branch, bool) {
 	rng := w.rngs[node]
 	if w.spec.MulticastFrac > 0 && rng.Float64() < w.spec.MulticastFrac {
@@ -519,6 +523,7 @@ func (w *Workload) Next(node topology.NodeID) ([]routing.Branch, bool) {
 	return w.uni[int(node)*w.n+int(dst)], false
 }
 
+//quarc:hotpath
 func (w *Workload) uniformDest(rng *rand.Rand, src topology.NodeID) topology.NodeID {
 	d := topology.NodeID(rng.IntN(w.n - 1))
 	if d >= src {
@@ -531,6 +536,8 @@ func (w *Workload) uniformDest(rng *rand.Rand, src topology.NodeID) topology.Nod
 // row: one uniform draw inverted by binary search. The row's total mass is
 // positive (ValidateFor rejects empty rows) and the diagonal carries no
 // mass, so the result is never src.
+//
+//quarc:hotpath
 func (w *Workload) weightedDest(rng *rand.Rand, src topology.NodeID) topology.NodeID {
 	row := w.cdf[int(src)*w.n : int(src)*w.n+w.n]
 	u := rng.Float64() * row[w.n-1]

@@ -226,6 +226,8 @@ type Network struct {
 
 // Handle dispatches the network's typed events; it implements sim.Handler
 // and is invoked by the engine, never directly.
+//
+//quarc:hotpath
 func (nw *Network) Handle(e *sim.Engine, ev sim.Event) {
 	t := e.Now()
 	switch ev.Kind {
@@ -261,6 +263,7 @@ func (nw *Network) Handle(e *sim.Engine, ev sim.Event) {
 	}
 }
 
+//quarc:hotpath
 func (nw *Network) getWorm(msg *message, branch int, path routing.Path) *worm {
 	if n := len(nw.wormPool); n > 0 {
 		w := nw.wormPool[n-1]
@@ -269,15 +272,17 @@ func (nw *Network) getWorm(msg *message, branch int, path routing.Path) *worm {
 		*w = worm{msg: msg, branch: branch, path: path}
 		return w
 	}
-	return &worm{msg: msg, branch: branch, path: path}
+	return &worm{msg: msg, branch: branch, path: path} //quarclint:ignore hotpath pool-miss path: allocates once per pool high-water mark, not per op
 }
 
+//quarc:hotpath
 func (nw *Network) putWorm(w *worm) {
 	w.msg = nil
 	w.path = nil
 	nw.wormPool = append(nw.wormPool, w)
 }
 
+//quarc:hotpath
 func (nw *Network) getMessage() *message {
 	if n := len(nw.msgPool); n > 0 {
 		m := nw.msgPool[n-1]
@@ -286,14 +291,17 @@ func (nw *Network) getMessage() *message {
 		*m = message{}
 		return m
 	}
-	return &message{}
+	return &message{} //quarclint:ignore hotpath pool-miss path: allocates once per pool high-water mark, not per op
 }
 
+//quarc:hotpath
 func (nw *Network) putMessage(m *message) {
 	nw.msgPool = append(nw.msgPool, m)
 }
 
 // trace appends a trace event if tracing is active and under the cap.
+//
+//quarc:hotpath
 func (nw *Network) trace(msg *message, branch int, kind TraceKind, ch topology.ChannelID, t float64) {
 	if !msg.traced {
 		return
@@ -438,6 +446,8 @@ func (nw *Network) beginMeasurement() {
 // busySpan clamps a holding interval to the measurement window. The
 // clamps are open-coded: math.Max/Min pay for NaN handling on a very hot
 // accounting path that never sees NaN.
+//
+//quarc:hotpath
 func (nw *Network) busySpan(grant, release float64) float64 {
 	lo := grant
 	if nw.measureStart > lo {
@@ -490,6 +500,7 @@ func (nw *Network) finish() {
 	}
 }
 
+//quarc:hotpath
 func (nw *Network) scheduleGeneration(node topology.NodeID, from float64) {
 	gap := nw.traffic.Interarrival(node)
 	if math.IsInf(gap, 1) {
@@ -501,6 +512,7 @@ func (nw *Network) scheduleGeneration(node topology.NodeID, from float64) {
 	nw.eng.Schedule(from+gap, sim.Event{Kind: evGenerate, Arg: int32(node)})
 }
 
+//quarc:hotpath
 func (nw *Network) generate(node topology.NodeID, t float64) {
 	if nw.stopped {
 		return
@@ -539,6 +551,8 @@ func (nw *Network) generate(node topology.NodeID, t float64) {
 }
 
 // request asks for the worm's next channel at time t.
+//
+//quarc:hotpath
 func (nw *Network) request(w *worm, t float64) {
 	id := w.path[w.hop]
 	c := &nw.channels[id]
@@ -582,6 +596,8 @@ func (nw *Network) request(w *worm, t float64) {
 // at te + msgLen - k. The first rule covers worms stretched over short
 // messages (msgLen < path length); the second covers the paper's usual
 // regime of messages longer than the network diameter.
+//
+//quarc:hotpath
 func (nw *Network) grant(w *worm, id topology.ChannelID, t float64) {
 	c := &nw.channels[id]
 	c.holder = w
@@ -645,6 +661,8 @@ func (nw *Network) grant(w *worm, id topology.ChannelID, t float64) {
 // absorbed — applies the outstanding releases in closed form and
 // completes the message. Requests that hit a deferred channel in the
 // meantime de-coalesce it (see request).
+//
+//quarc:hotpath
 func (nw *Network) spanStart(w *worm, lo int, te float64) {
 	msgLen := float64(nw.cfg.MsgLen)
 	last := len(w.path) - 1
@@ -674,6 +692,8 @@ func (nw *Network) spanStart(w *worm, lo int, te float64) {
 // at the recorded time c.spanRelease. The channel's queue is empty by
 // construction: a queued worm would have forced a materialized release
 // event instead.
+//
+//quarc:hotpath
 func (nw *Network) releaseSpanned(c *channel) {
 	h := c.holder
 	if nw.measuring {
@@ -688,6 +708,8 @@ func (nw *Network) releaseSpanned(c *channel) {
 // absorbed at t, every channel the worm still holds is released at its
 // recorded time, and the branch completes — micro-events the fine-grained
 // simulator would have fired one by one.
+//
+//quarc:hotpath
 func (nw *Network) spanDone(w *worm, t float64) {
 	lo := len(w.path) - nw.cfg.MsgLen
 	if lo < 0 {
@@ -717,6 +739,8 @@ func (nw *Network) spanDone(w *worm, t float64) {
 // flushSpans applies every deferred span release whose logical time lies
 // strictly before t, so measurement-boundary and end-of-run accounting
 // see the true release times rather than the pending evSpanDone.
+//
+//quarc:hotpath
 func (nw *Network) flushSpans(t float64) {
 	for i := range nw.channels {
 		c := &nw.channels[i]
@@ -727,6 +751,7 @@ func (nw *Network) flushSpans(t float64) {
 	}
 }
 
+//quarc:hotpath
 func (nw *Network) release(id topology.ChannelID, t float64) {
 	c := &nw.channels[id]
 	h := c.holder
@@ -761,6 +786,7 @@ func (nw *Network) release(id topology.ChannelID, t float64) {
 	}
 }
 
+//quarc:hotpath
 func (nw *Network) complete(msg *message, t float64) {
 	msg.pending--
 	if t > msg.lastDone {

@@ -59,7 +59,7 @@ func (Model) Evaluate(s *Scenario) (Result, error) {
 	m, err := core.NewModel(in)
 	if err != nil {
 		if errors.Is(err, core.ErrNonPoisson) {
-			err = fmt.Errorf("noc: %w: %v", ErrModelInapplicable, err)
+			err = fmt.Errorf("noc: %w: %w", ErrModelInapplicable, err)
 		}
 		return Result{}, err
 	}

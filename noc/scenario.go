@@ -546,19 +546,19 @@ func resolve(cfg config) (*Scenario, error) {
 		// configuration mistakes like any other option error; wrap them
 		// in the sentinel so callers — the quarcd error mapping in
 		// particular — can classify them without string matching.
-		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOption, err)
 	}
 	routerVal, err := buildRouter(topo)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOption, err)
 	}
 	router, err := asRouter(routerVal)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOption, err)
 	}
 	setVal, err := buildPattern(router, cfg.patCfg)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOption, err)
 	}
 	set, ok := setVal.(routing.MulticastSet)
 	if !ok {
@@ -575,7 +575,7 @@ func resolve(cfg config) (*Scenario, error) {
 	}
 	destVal, err := buildSpatial(routerVal, cfg.spatialCfg)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOption, err)
 	}
 	dest, ok := destVal.(traffic.Dest)
 	if !ok {
@@ -594,7 +594,7 @@ func resolve(cfg config) (*Scenario, error) {
 // rejection wraps ErrInvalidOption or ErrOptionConflict.
 func (s *Scenario) validate() error {
 	if err := s.trafficSpec().ValidateFor(s.router.Graph().Nodes()); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidOption, err)
+		return fmt.Errorf("%w: %w", ErrInvalidOption, err)
 	}
 	if s.cfg.msgLen < 2 {
 		return fmt.Errorf("%w: message length %d too short (need >= 2 flits)", ErrInvalidOption, s.cfg.msgLen)

@@ -99,7 +99,7 @@ func NewHandler(e *Evaluator) http.Handler {
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
 		if err != nil {
-			writeError(w, fmt.Errorf("%w: reading request: %v", noc.ErrInvalidSpec, err))
+			writeError(w, fmt.Errorf("%w: reading request: %w", noc.ErrInvalidSpec, err))
 			return
 		}
 		// The embedded spec goes through the same strict ParseSpec as
@@ -112,7 +112,7 @@ func NewHandler(e *Evaluator) http.Handler {
 		dec := json.NewDecoder(bytes.NewReader(body))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&raw); err != nil {
-			writeError(w, fmt.Errorf("%w: %v", noc.ErrInvalidSpec, err))
+			writeError(w, fmt.Errorf("%w: %w", noc.ErrInvalidSpec, err))
 			return
 		}
 		if len(raw.Spec) == 0 {
@@ -164,7 +164,7 @@ func NewHandler(e *Evaluator) http.Handler {
 func decodeSpec(w http.ResponseWriter, r *http.Request) (noc.Spec, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: reading request: %v", noc.ErrInvalidSpec, err))
+		writeError(w, fmt.Errorf("%w: reading request: %w", noc.ErrInvalidSpec, err))
 		return noc.Spec{}, false
 	}
 	sp, err := noc.ParseSpec(body)

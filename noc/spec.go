@@ -248,7 +248,7 @@ func ParseSpec(data []byte) (Spec, error) {
 	dec.DisallowUnknownFields()
 	var sp Spec
 	if err := dec.Decode(&sp); err != nil {
-		return Spec{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+		return Spec{}, fmt.Errorf("%w: %w", ErrInvalidSpec, err)
 	}
 	if err := dec.Decode(&struct{}{}); err != io.EOF {
 		return Spec{}, fmt.Errorf("%w: trailing data after the spec document", ErrInvalidSpec)

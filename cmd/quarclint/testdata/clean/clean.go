@@ -1,0 +1,5 @@
+// Package clean is the exit-0 fixture: nothing here trips any checker.
+package clean
+
+// Double doubles x.
+func Double(x int) int { return 2 * x }

@@ -1,0 +1,3 @@
+module quarclint.clean
+
+go 1.22

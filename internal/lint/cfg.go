@@ -1,0 +1,378 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds the per-function control-flow graphs the quarcflow
+// dataflow checkers (poollifetime, rngprovenance, floatorder) run over.
+// The graph is deliberately small: basic blocks hold statement-level AST
+// nodes in evaluation order, edges over-approximate control flow (a
+// conditional always has both edges, a loop always has a back edge and
+// an exit edge), and constructs the analyses cannot model precisely fall
+// back to conservative fall-through. Over-approximation is the safe
+// direction for every quarcflow pass: they are forward *may*-analyses,
+// so an impossible path can only add facts, never hide one.
+
+// block is one basic block: a maximal straight-line run of nodes.
+type block struct {
+	// nodes holds the statements and control expressions evaluated in
+	// this block, in order. Control expressions (an if condition, a
+	// switch tag, a range operand) appear as bare ast.Expr nodes before
+	// the branch they guard.
+	nodes []ast.Node
+	// succs are the possible control-flow successors.
+	succs []*block
+	// index is the block's position in graph.blocks (construction order,
+	// which approximates reverse post-order for structured code).
+	index int
+}
+
+// graph is the CFG of one function body.
+type graph struct {
+	entry  *block
+	blocks []*block
+}
+
+// cfgBuilder incrementally grows a graph. cur is the block new nodes are
+// appended to; nil means the current path is terminated (after a return,
+// break, continue or panic) and subsequent statements are unreachable
+// until a new join point starts a block.
+type cfgBuilder struct {
+	g   *graph
+	cur *block
+	// breakTargets and continueTargets stack the jump destinations of the
+	// enclosing breakable/continuable statements, innermost last. Labeled
+	// break/continue jump to the matching labeled entry.
+	breakTargets    []jumpTarget
+	continueTargets []jumpTarget
+}
+
+type jumpTarget struct {
+	label string
+	block *block
+}
+
+// buildCFG constructs the CFG of one function body.
+func buildCFG(body *ast.BlockStmt) *graph {
+	g := &graph{}
+	b := &cfgBuilder{g: g}
+	g.entry = b.newBlock()
+	b.cur = g.entry
+	b.stmtList(body.List)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// startBlock begins a new block and links the current one to it (if the
+// current path is live).
+func (b *cfgBuilder) startBlock() *block {
+	blk := b.newBlock()
+	if b.cur != nil {
+		b.link(b.cur, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *block) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// add appends a node to the current block; a dead path (cur == nil)
+// silently drops it — unreachable code cannot produce flow facts.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement. label is the label attached to this
+// statement (loops and switches record it as a break/continue target).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		if condBlk == nil {
+			return
+		}
+		// then branch
+		thenBlk := b.newBlock()
+		b.link(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		thenEnd := b.cur
+		// else branch
+		var elseEnd *block
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.link(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else, "")
+			elseEnd = b.cur
+		}
+		// join
+		join := b.newBlock()
+		if thenEnd != nil {
+			b.link(thenEnd, join)
+		}
+		if s.Else == nil {
+			b.link(condBlk, join)
+		} else if elseEnd != nil {
+			b.link(elseEnd, join)
+		}
+		if thenEnd == nil && elseEnd == nil && s.Else != nil {
+			b.cur = nil // both arms terminated
+			return
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startBlock()
+		if head == nil {
+			return
+		}
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		exit := b.newBlock()
+		if s.Cond != nil {
+			b.link(head, exit) // condition false
+		}
+		post := b.newBlock() // continue target: post statement, then back to head
+		if s.Post != nil {
+			post.nodes = append(post.nodes, s.Post)
+		}
+		b.link(post, head)
+		b.pushTargets(label, exit, post)
+		body := b.newBlock()
+		b.link(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.link(b.cur, post)
+		}
+		b.popTargets()
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.startBlock()
+		if head == nil {
+			return
+		}
+		// The range assignment itself defines the iteration variables once
+		// per iteration; record the whole statement so analyses see the
+		// definitions, then branch to body or exit.
+		head.nodes = append(head.nodes, rangeIter{s})
+		exit := b.newBlock()
+		b.link(head, exit)
+		b.pushTargets(label, exit, head)
+		body := b.newBlock()
+		b.link(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.link(b.cur, head)
+		}
+		b.popTargets()
+		b.cur = exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var tag ast.Node
+		var body *ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, tag, body = sw.Init, sw.Tag, sw.Body
+		case *ast.TypeSwitchStmt:
+			init, tag, body = sw.Init, sw.Assign, sw.Body
+		}
+		if init != nil {
+			b.add(init)
+		}
+		if tag != nil {
+			b.add(tag)
+		}
+		condBlk := b.cur
+		if condBlk == nil {
+			return
+		}
+		exit := b.newBlock()
+		b.pushTargets(label, exit, nil)
+		hasDefault := false
+		for _, cl := range body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			caseBlk := b.newBlock()
+			b.link(condBlk, caseBlk)
+			b.cur = caseBlk
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.link(b.cur, exit)
+			}
+			// fallthrough is rare in this codebase; over-approximate by
+			// ignoring it (the next case is entered from the switch head
+			// anyway, so facts still flow there).
+		}
+		if !hasDefault {
+			b.link(condBlk, exit)
+		}
+		b.popTargets()
+		b.cur = exit
+
+	case *ast.SelectStmt:
+		condBlk := b.cur
+		if condBlk == nil {
+			return
+		}
+		exit := b.newBlock()
+		b.pushTargets(label, exit, nil)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			caseBlk := b.newBlock()
+			b.link(condBlk, caseBlk)
+			b.cur = caseBlk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.link(b.cur, exit)
+			}
+		}
+		b.popTargets()
+		b.cur = exit
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so the label is a jump target, then translate
+		// the labeled statement with the label attached.
+		b.startBlock()
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(b.breakTargets, labelName(s.Label)); t != nil && b.cur != nil {
+				b.link(b.cur, t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findTarget(b.continueTargets, labelName(s.Label)); t != nil && b.cur != nil {
+				b.link(b.cur, t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			// goto is not used in this codebase; terminate the path
+			// conservatively (facts cannot flow along an unmodeled edge,
+			// which for a may-analysis only loses findings, never invents
+			// them).
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// handled structurally in the switch translation
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+				b.add(s)
+				b.cur = nil
+				return
+			}
+		}
+		b.add(s)
+
+	case *ast.DeferStmt:
+		// Deferred calls run at function exit in reverse order; modeling
+		// that precisely needs an exit block per defer. Record the call at
+		// its lexical position — for may-analyses the approximation errs
+		// toward extra facts, the sound direction.
+		b.add(s)
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements, empty
+		// statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// rangeIter wraps a range statement when it appears as a loop-head node:
+// the analyses see the iteration-variable definitions without re-walking
+// the loop body (which is translated into its own blocks).
+type rangeIter struct {
+	stmt *ast.RangeStmt
+}
+
+// Pos/End make rangeIter an ast.Node.
+func (r rangeIter) Pos() token.Pos { return r.stmt.Pos() }
+func (r rangeIter) End() token.Pos { return r.stmt.TokPos }
+
+func labelName(l *ast.Ident) string {
+	if l == nil {
+		return ""
+	}
+	return l.Name
+}
+
+func (b *cfgBuilder) pushTargets(label string, brk, cont *block) {
+	b.breakTargets = append(b.breakTargets, jumpTarget{label, brk})
+	b.continueTargets = append(b.continueTargets, jumpTarget{label, cont})
+}
+
+func (b *cfgBuilder) popTargets() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+// findTarget resolves a break/continue destination: the innermost target
+// for an unlabeled jump, the matching labeled one otherwise. Switch and
+// select statements push a nil continue target, which an unlabeled
+// continue skips over (it belongs to the enclosing loop).
+func (b *cfgBuilder) findTarget(stack []jumpTarget, label string) *block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		t := stack[i]
+		if t.block == nil {
+			continue
+		}
+		if label == "" || t.label == label {
+			return t.block
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is quarcflow's analysis engine: a forward may-analysis over
+// the CFGs of cfg.go. The lattice is the powerset of (variable, fact)
+// pairs — each fact a small named bit like "released to a pool" or
+// "derived from a seed parameter" — ordered by inclusion with union as
+// join. Heights are tiny (one bit per local variable), so the worklist
+// converges in a handful of passes even on the simulator's largest
+// functions.
+
+// facts maps a variable (its types.Object) to a fact bitset. The zero
+// map is the bottom element.
+type facts map[types.Object]factBits
+
+// factBits is a small per-variable bitset; each dataflow checker
+// assigns its own meaning to the bits.
+type factBits uint8
+
+const (
+	// factReleased marks a value that has flowed into a free-list put
+	// (poollifetime).
+	factReleased factBits = 1 << iota
+	// factSeeded marks a value data-flow-derived from a function
+	// parameter — the intraprocedural stand-in for "traceable to the
+	// replication seed" (rngprovenance).
+	factSeeded
+	// factMapDerived marks a slice populated by ranging a map without an
+	// intervening sort (floatorder).
+	factMapDerived
+)
+
+func (f facts) clone() facts {
+	out := make(facts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// join unions other into f, reporting whether f changed.
+func (f facts) join(other facts) bool {
+	changed := false
+	for k, v := range other {
+		if f[k]&v != v {
+			f[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (f facts) has(obj types.Object, bit factBits) bool {
+	return obj != nil && f[obj]&bit != 0
+}
+
+func (f facts) set(obj types.Object, bit factBits) {
+	if obj != nil {
+		f[obj] |= bit
+	}
+}
+
+func (f facts) clear(obj types.Object, bit factBits) {
+	if obj == nil {
+		return
+	}
+	if rest := f[obj] &^ bit; rest == 0 {
+		delete(f, obj)
+	} else {
+		f[obj] = rest
+	}
+}
+
+// transferFunc applies one node's effect to the fact set in place.
+// report is false during the fixpoint iteration and true on the final
+// reporting pass, when the incoming states are stable — diagnostics must
+// only be emitted then, so each finding is reported exactly once.
+type transferFunc func(n ast.Node, f facts, report bool)
+
+// forwardMay runs a forward may-analysis over fn's body: entry starts
+// with init (nil means empty), every node applies tf, block outputs join
+// into successor inputs, and once the fixpoint is reached a final pass
+// re-applies tf with report=true on each block's stable input state.
+func forwardMay(fn *ast.FuncDecl, init facts, tf transferFunc) {
+	if fn.Body == nil {
+		return
+	}
+	g := buildCFG(fn.Body)
+	in := make([]facts, len(g.blocks))
+	for i := range in {
+		in[i] = make(facts)
+	}
+	if init != nil {
+		in[g.entry.index].join(init)
+	}
+
+	// Chaotic iteration in block order; construction order approximates
+	// reverse post-order for structured code, so this converges fast.
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.blocks {
+			out := in[blk.index].clone()
+			for _, n := range blk.nodes {
+				tf(n, out, false)
+			}
+			for _, succ := range blk.succs {
+				if in[succ.index].join(out) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Reporting pass over the stable states.
+	for _, blk := range g.blocks {
+		f := in[blk.index].clone()
+		for _, n := range blk.nodes {
+			tf(n, f, true)
+		}
+	}
+}
+
+// objectOf resolves an expression to the variable it denotes, seeing
+// through parentheses. Selector and index expressions resolve to nil:
+// the dataflow facts track whole local variables, not heap paths.
+func (cx *context) objectOf(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := cx.pkg.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return cx.pkg.TypesInfo.Defs[e]
+	}
+	return nil
+}
+
+// exprMentions reports whether expr reads any variable carrying bit in
+// f. Function literals are skipped: their bodies execute later, under
+// their own flow.
+func (cx *context) exprMentions(expr ast.Expr, f facts, bit factBits) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if f.has(cx.pkg.TypesInfo.Uses[n], bit) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// paramObjects returns the declared objects of a function's parameters
+// and receiver: the taint sources of the rngprovenance analysis.
+func (cx *context) paramObjects(fn *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := cx.pkg.TypesInfo.Defs[name]; obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	collect(fn.Recv)
+	collect(fn.Type.Params)
+	return out
+}

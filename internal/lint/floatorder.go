@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkFloatOrder generalizes the map-order float-sum bug quarclint's
+// dogfooding found in core.NewModel: float addition and multiplication
+// are not associative, so accumulating float64 values in an order the
+// runtime randomizes makes the low bits differ from process to process —
+// which every golden test, cache fingerprint and record/replay diff then
+// trips over. The checker flags a float accumulation (+=, -=, *=, /=, or
+// x = x ⊕ ...) inside a loop whose iteration order is unordered:
+//
+//   - ranging a map directly (sorting elsewhere in the function does not
+//     help: the accumulation itself still runs in hash order), or
+//   - ranging a slice that dataflow shows was built by collecting map
+//     keys/values without an intervening sort.
+//
+// Unlike the determinism checker's map-range rule this pass runs over
+// every package: a float folded in map order is wrong wherever it
+// happens, result path or not.
+func checkFloatOrder(cx *context) {
+	for _, f := range cx.pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cx.flowFloatOrder(fd)
+		}
+	}
+}
+
+// flowFloatOrder tracks which slices are map-derived-and-unsorted
+// through one function, flagging float accumulations in ranges over
+// maps or such slices.
+func (cx *context) flowFloatOrder(fd *ast.FuncDecl) {
+	// Pre-pass: for every range-over-map in the function, the slices its
+	// body appends iteration-derived values into. These assignments gen
+	// the map-derived fact; a sort call on the slice kills it.
+	collected := cx.mapCollectTargets(fd)
+
+	tf := func(n ast.Node, f facts, report bool) {
+		if ri, ok := n.(rangeIter); ok {
+			_ = ri
+			return
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					obj := cx.objectOf(lhs)
+					if obj == nil {
+						continue
+					}
+					if collected[obj] {
+						f.set(obj, factMapDerived)
+					} else {
+						f.clear(obj, factMapDerived)
+					}
+				}
+			}
+		case *ast.ExprStmt, *ast.DeferStmt:
+			// Sort calls kill the fact for their slice argument.
+			cx.killSorted(n, f)
+		}
+	}
+
+	// The accumulation check needs the loop structure, not just block
+	// order, so it walks ranges directly with the fact states the
+	// dataflow pass computed at each range head. Simplest sound route:
+	// run the flow to fixpoint recording the state at each RangeStmt.
+	rangeFacts := make(map[*ast.RangeStmt]facts)
+	wrapped := func(n ast.Node, f facts, report bool) {
+		if ri, ok := n.(rangeIter); ok && report {
+			rangeFacts[ri.stmt] = f.clone()
+		}
+		tf(n, f, report)
+	}
+	forwardMay(fd, nil, wrapped)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		unordered, src := cx.rangeUnordered(rs, rangeFacts[rs])
+		if !unordered {
+			return true
+		}
+		cx.reportFloatAccumulations(rs, src)
+		return true
+	})
+}
+
+// mapCollectTargets returns the slice variables some map range in fd
+// appends iteration-derived values into — the candidates for the
+// "slice built from an unsorted map" half of the check.
+func (cx *context) mapCollectTargets(fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := cx.typeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if !cx.rangeAppendsToSlice(rs) {
+			return true
+		}
+		// Find the append targets: x = append(x, ...) inside the body.
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !cx.isBuiltinAppend(call) {
+				return true
+			}
+			if obj := cx.objectOf(as.Lhs[0]); obj != nil {
+				out[obj] = true
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// killSorted clears the map-derived fact from any variable passed to a
+// sort or slices package function: the enumeration is ordered from here
+// on.
+func (cx *context) killSorted(n ast.Node, f facts) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := cx.pkg.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+			for _, arg := range call.Args {
+				if obj := cx.objectOf(arg); obj != nil {
+					f.clear(obj, factMapDerived)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rangeUnordered classifies a range statement's iteration order: true
+// for maps and for slices carrying the map-derived fact at the loop
+// head. src describes the source for the diagnostic.
+func (cx *context) rangeUnordered(rs *ast.RangeStmt, f facts) (bool, string) {
+	t := cx.typeOf(rs.X)
+	if t == nil {
+		return false, ""
+	}
+	if _, isMap := t.Underlying().(*types.Map); isMap {
+		return true, "a map"
+	}
+	if _, isSlice := t.Underlying().(*types.Slice); isSlice && f != nil {
+		if obj := cx.objectOf(rs.X); obj != nil && f.has(obj, factMapDerived) {
+			return true, "a slice collected from a map without sorting"
+		}
+	}
+	return false, ""
+}
+
+// reportFloatAccumulations flags float64/float32 accumulator updates in
+// the loop body whose accumulator is declared outside the loop — the
+// defining property of a fold whose result depends on iteration order.
+func (cx *context) reportFloatAccumulations(rs *ast.RangeStmt, src string) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		case token.ASSIGN:
+			// x = x + v style accumulation.
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 || !cx.selfReferential(as.Lhs[0], as.Rhs[0]) {
+				return true
+			}
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if !cx.isFloat(lhs) {
+				continue
+			}
+			// An accumulator rooted at a loop-local variable (the iteration
+			// variable, or anything declared in the body) does not carry
+			// across iterations: each iteration folds into a fresh object,
+			// so the order cannot reach the result.
+			if obj := cx.rootObject(lhs); obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() <= rs.End() {
+				continue
+			}
+			cx.reportf(as.Pos(), "float accumulation over %s: addition is not associative, so the result depends on iteration order — collect and sort before folding", src)
+		}
+		return true
+	})
+}
+
+// selfReferential reports whether rhs reads the variable lhs denotes
+// (x = x + v), including through a field path (s.total = s.total + v).
+func (cx *context) selfReferential(lhs, rhs ast.Expr) bool {
+	obj := cx.objectOf(lhs)
+	if obj == nil {
+		// Field path: compare the selector's field object.
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		obj = cx.pkg.TypesInfo.Uses[sel.Sel]
+		if obj == nil {
+			return false
+		}
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && cx.pkg.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObject resolves the base variable of an lvalue path: s.total →
+// s, m[k].x → m, (*p).f → p.
+func (cx *context) rootObject(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return cx.objectOf(e)
+		}
+	}
+}
+
+// isFloat reports whether e has a floating-point type.
+func (cx *context) isFloat(e ast.Expr) bool {
+	t := cx.typeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

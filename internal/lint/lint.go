@@ -5,7 +5,8 @@
 // hot paths — at the source level, so a regression is a build failure
 // rather than a reviewer catch or a flaky golden diff.
 //
-// Four checkers run over every loaded package:
+// Eight checkers run over every loaded package. Four are syntactic
+// passes:
 //
 //   - determinism: packages on the simulation result path may not import
 //     "time" or "math/rand", may not call package-level math/rand/v2
@@ -22,6 +23,22 @@
 //     happens in init or package-level var declarations, and every
 //     map-derived enumeration is sorted before it is returned.
 //
+// Four more — the quarcflow layer — run a forward may-analysis over
+// per-function control-flow graphs (cfg.go, dataflow.go):
+//
+//   - poollifetime: a value that flowed into a free-list put (the
+//     wormhole worm/message pools, sync.Pool.Put) may not be read,
+//     written through, or scheduled afterward in the same function.
+//   - rngprovenance: every generator a determinism package seeds must
+//     take its seed from data flowing out of a function parameter —
+//     never a package-level var or a bare literal.
+//   - floatorder: no float accumulation inside a loop ranging a map or
+//     a slice collected from a map without sorting.
+//   - sharedstate: inventories every package-level var and every struct
+//     field written at runtime in the configured packages into the
+//     lint/sharedstate.json artifact; a runtime-mutated global without
+//     a //quarcflow:shared justification is a finding.
+//
 // A finding can be silenced case by case with a trailing
 // "//quarclint:ignore <checker> <reason>" comment on the offending line;
 // the reason is mandatory so the waiver documents itself.
@@ -35,6 +52,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, addressed by file position. File is
@@ -69,6 +87,13 @@ type Config struct {
 	// carry the //quarc:hotpath directive, and no function outside the
 	// list may carry it — the directive placement is itself checked.
 	Hotpaths map[string][]string
+	// SharedStatePackages lists the import paths the sharedstate audit
+	// inventories — the packages the future parallel engine would shard
+	// across cores. Defaults to the determinism closure.
+	SharedStatePackages []string
+	// Checkers restricts the run to the named checkers; empty means all.
+	// Names must come from Checkers() — the caller validates.
+	Checkers []string
 }
 
 // DefaultConfig returns the repository's enforced invariant surface: the
@@ -76,15 +101,17 @@ type Config struct {
 // TestSteadyStateEventLoopAllocFree, TestArrivalAndDestAllocFree and the
 // noc/bench 0-allocs/op gates.
 func DefaultConfig() Config {
+	det := []string{
+		"quarc/internal/routing",
+		"quarc/internal/sim",
+		"quarc/internal/stats",
+		"quarc/internal/traffic",
+		"quarc/internal/wormhole",
+	}
 	return Config{
-		DeterminismPackages: []string{
-			"quarc/internal/routing",
-			"quarc/internal/sim",
-			"quarc/internal/stats",
-			"quarc/internal/traffic",
-			"quarc/internal/wormhole",
-		},
-		Hotpaths: defaultHotpaths(),
+		DeterminismPackages: det,
+		Hotpaths:            defaultHotpaths(),
+		SharedStatePackages: det,
 	}
 }
 
@@ -110,8 +137,12 @@ type checker struct {
 var checkers = []checker{
 	{"determinism", "no wall clocks, global RNGs, map-order or goroutine nondeterminism on the result path", checkDeterminism},
 	{"errdiscipline", "sentinel errors compared with errors.Is and wrapped with %w", checkErrDiscipline},
+	{"floatorder", "no float accumulation in map-ordered loops (directly or via unsorted collected slices)", checkFloatOrder},
 	{"hotpath", "//quarc:hotpath functions stay fmt-free, closure-free and allocation-free", checkHotpath},
+	{"poollifetime", "values returned to a free list are dead: no later read, write or schedule", checkPoolLifetime},
 	{"registryhygiene", "lowercase registry names, init-time registration, sorted enumerations", checkRegistryHygiene},
+	{"rngprovenance", "every generator seed on the result path data-flows from the replication seed parameter", checkRNGProvenance},
+	{"sharedstate", "inventory of runtime-mutated package state; undocumented globals are findings", checkSharedState},
 }
 
 // Checkers returns the checker names, sorted.
@@ -126,10 +157,11 @@ func Checkers() []string {
 
 // context carries one (package, checker) pass's state.
 type context struct {
-	pkg  *Package
-	cfg  *Config
-	name string
-	out  *[]Diagnostic
+	pkg    *Package
+	cfg    *Config
+	name   string
+	out    *[]Diagnostic
+	shared *SharedStateReport
 }
 
 func (cx *context) reportf(pos token.Pos, format string, args ...any) {
@@ -152,14 +184,56 @@ func (cx *context) reportf(pos token.Pos, format string, args ...any) {
 // typeOf resolves an expression's type, or nil.
 func (cx *context) typeOf(e ast.Expr) types.Type { return cx.pkg.TypesInfo.TypeOf(e) }
 
+// CheckerTiming records one checker's cumulative wall time across all
+// packages of a run.
+type CheckerTiming struct {
+	Checker string  `json:"checker"`
+	Millis  float64 `json:"millis"`
+}
+
+// Report is the full result of one linter run.
+type Report struct {
+	// Diagnostics are the surviving findings, sorted by position.
+	Diagnostics []Diagnostic
+	// SharedState is the mutable-state inventory the sharedstate checker
+	// accumulated (empty unless that checker ran over in-scope packages).
+	SharedState *SharedStateReport
+	// Timing lists per-checker wall time in registry order.
+	Timing []CheckerTiming
+}
+
 // Run executes every checker over every package and returns the
 // surviving findings sorted by position. Findings on a line carrying a
 // matching //quarclint:ignore directive are dropped.
 func Run(pkgs []*Package, cfg Config) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	return RunReport(pkgs, cfg).Diagnostics
+}
+
+// RunReport executes the configured checkers (all of them when
+// cfg.Checkers is empty) over every package and returns the diagnostics
+// together with the sharedstate inventory and per-checker timing.
+func RunReport(pkgs []*Package, cfg Config) Report {
+	selected := checkers
+	if len(cfg.Checkers) > 0 {
+		want := make(map[string]bool, len(cfg.Checkers))
+		for _, name := range cfg.Checkers {
+			want[name] = true
+		}
+		selected = nil
 		for _, c := range checkers {
-			c.run(&context{pkg: pkg, cfg: &cfg, name: c.name, out: &diags})
+			if want[c.name] {
+				selected = append(selected, c)
+			}
+		}
+	}
+	var diags []Diagnostic
+	shared := &SharedStateReport{Globals: []SharedGlobal{}, Fields: []SharedField{}}
+	elapsed := make(map[string]time.Duration, len(selected))
+	for _, pkg := range pkgs {
+		for _, c := range selected {
+			start := time.Now()
+			c.run(&context{pkg: pkg, cfg: &cfg, name: c.name, out: &diags, shared: shared})
+			elapsed[c.name] += time.Since(start)
 		}
 		diags = filterIgnored(pkg, &cfg, diags)
 	}
@@ -176,7 +250,36 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 		}
 		return a.Checker < b.Checker
 	})
-	return diags
+	sortSharedState(shared)
+	timing := make([]CheckerTiming, 0, len(selected))
+	for _, c := range selected {
+		timing = append(timing, CheckerTiming{Checker: c.name, Millis: float64(elapsed[c.name]) / float64(time.Millisecond)})
+	}
+	return Report{Diagnostics: diags, SharedState: shared, Timing: timing}
+}
+
+// sortSharedState puts the inventory in its canonical order: globals by
+// (package, name), fields by (package, type, field). Per-package
+// emission already sorts within a package; this fixes the cross-package
+// order regardless of load order.
+func sortSharedState(r *SharedStateReport) {
+	sort.Slice(r.Globals, func(i, j int) bool {
+		a, b := r.Globals[i], r.Globals[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	sort.Slice(r.Fields, func(i, j int) bool {
+		a, b := r.Fields[i], r.Fields[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Field < b.Field
+	})
 }
 
 // hotpathDirective marks a function as a pinned allocation-free hot

@@ -16,7 +16,7 @@ var update = flag.Bool("update", false, "rewrite testdata/golden.txt from the cu
 
 // loadCorpus loads the quarclint.example fixture module under
 // testdata/src and runs every checker over it with the fixture config.
-func loadCorpus(t *testing.T) []Diagnostic {
+func loadCorpus(t *testing.T) Report {
 	t.Helper()
 	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
 	if err != nil {
@@ -28,12 +28,13 @@ func loadCorpus(t *testing.T) []Diagnostic {
 	}
 	cfg := Config{
 		BaseDir:             dir,
-		DeterminismPackages: []string{"quarclint.example/det"},
+		DeterminismPackages: []string{"quarclint.example/det", "quarclint.example/rng"},
 		Hotpaths: map[string][]string{
 			"quarclint.example/hot": {"Cold", "Hot", "Missing"},
 		},
+		SharedStatePackages: []string{"quarclint.example/shared"},
 	}
-	return Run(pkgs, cfg)
+	return RunReport(pkgs, cfg)
 }
 
 // TestCorpusGolden pins the exact diagnostics the fixture corpus must
@@ -42,9 +43,9 @@ func loadCorpus(t *testing.T) []Diagnostic {
 //
 //	go test ./internal/lint -run TestCorpusGolden -update
 func TestCorpusGolden(t *testing.T) {
-	diags := loadCorpus(t)
+	report := loadCorpus(t)
 	var b strings.Builder
-	for _, d := range diags {
+	for _, d := range report.Diagnostics {
 		b.WriteString(d.String())
 		b.WriteString("\n")
 	}
@@ -65,11 +66,33 @@ func TestCorpusGolden(t *testing.T) {
 	}
 }
 
+// TestCorpusSharedState pins the sharedstate inventory the fixture
+// corpus must produce, in its canonical JSON byte form. Regenerate with
+// -update alongside the diagnostics golden.
+func TestCorpusSharedState(t *testing.T) {
+	report := loadCorpus(t)
+	got := SharedStateJSON(report.SharedState)
+
+	goldenPath := filepath.Join("testdata", "sharedstate_golden.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading sharedstate golden (run with -update to create it): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("sharedstate inventory diverges from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
 // TestCorpusCoverage guards the golden file itself: every checker must
 // fire at least once on the corpus, and the waived line must not appear.
 // A golden regenerated from a broken checker cannot silently pass.
 func TestCorpusCoverage(t *testing.T) {
-	diags := loadCorpus(t)
+	diags := loadCorpus(t).Diagnostics
 	byChecker := make(map[string]int)
 	for _, d := range diags {
 		byChecker[d.Checker]++
@@ -110,11 +133,75 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
+// TestSharedStateBaseline pins the committed lint/sharedstate.json to
+// the audit's live output, byte for byte: the artifact is reproducible
+// from a clean checkout, and any new shared state shows up as a test
+// diff (and a CI growth-gate failure) rather than drifting silently.
+// Regenerate with
+//
+//	go run ./cmd/quarclint -sharedstate lint/sharedstate.json ./...
+func TestSharedStateBaseline(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.BaseDir = root
+	report := RunReport(pkgs, cfg)
+	got := SharedStateJSON(report.SharedState)
+	baseline := filepath.Join(root, "lint", "sharedstate.json")
+	want, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatalf("reading committed baseline (regenerate with go run ./cmd/quarclint -sharedstate lint/sharedstate.json ./...): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("sharedstate inventory diverges from the committed %s\n--- got ---\n%s--- want ---\n%s", baseline, got, want)
+	}
+}
+
 func TestCheckersSorted(t *testing.T) {
 	names := Checkers()
-	want := []string{"determinism", "errdiscipline", "hotpath", "registryhygiene"}
+	want := []string{
+		"determinism", "errdiscipline", "floatorder", "hotpath",
+		"poollifetime", "registryhygiene", "rngprovenance", "sharedstate",
+	}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("Checkers() = %v, want %v", names, want)
+	}
+}
+
+// TestCheckerSubset pins the cfg.Checkers restriction RunReport applies:
+// only the named checkers run, and the timing lists exactly those.
+func TestCheckerSubset(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture corpus: %v", err)
+	}
+	cfg := Config{
+		BaseDir:             dir,
+		DeterminismPackages: []string{"quarclint.example/det", "quarclint.example/rng"},
+		Checkers:            []string{"errdiscipline"},
+	}
+	report := RunReport(pkgs, cfg)
+	for _, d := range report.Diagnostics {
+		// The directive pseudo-checker still validates waivers.
+		if d.Checker != "errdiscipline" && d.Checker != "directive" {
+			t.Errorf("checker %q ran despite the subset restriction: %s", d.Checker, d)
+		}
+	}
+	if len(report.Diagnostics) == 0 {
+		t.Error("errdiscipline produced no diagnostics on the corpus under the subset restriction")
+	}
+	if len(report.Timing) != 1 || report.Timing[0].Checker != "errdiscipline" {
+		t.Errorf("Timing = %+v, want exactly one errdiscipline entry", report.Timing)
 	}
 }
 

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkPoolLifetime enforces the free-list lifecycle the wormhole
+// worm/message pools (and any sync.Pool) rely on: once a value flows
+// into a pool put it is dead to the putting function — the pool may hand
+// it to another message in the same tick, so a later read, field write,
+// or event-schedule of the value observes (or corrupts) an unrelated
+// in-flight object. This is exactly the returns-to-pool-before-
+// evSpanDone bug class the wormhole lifecycle comments guard by hand;
+// quarcflow turns it into a build failure.
+//
+// The pass is intraprocedural and two-phase. Phase one infers the
+// package's pool-put functions: a function or method that appends one of
+// its pointer parameters to a free-list slice (a field or package var
+// whose name contains "pool" or "free"), plus (*sync.Pool).Put. Phase
+// two runs a forward may-analysis over every function: a call to a
+// recognized put marks the argument released; any later mention of the
+// released variable on any path is a finding. Reassigning the variable
+// revives it (it names a fresh object).
+func checkPoolLifetime(cx *context) {
+	puts := cx.poolPutFuncs()
+	for _, f := range cx.pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cx.flowPoolLifetime(fd, puts)
+		}
+	}
+}
+
+// poolPutFuncs infers the package's pool-put functions: for each, the
+// index of the parameter that is retired into the free list (receiver
+// counts as index -1 and is never a put target here; indexes are over
+// Type.Params).
+func (cx *context) poolPutFuncs() map[types.Object]int {
+	puts := make(map[types.Object]int)
+	for _, f := range cx.pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			// Parameter objects, in declaration order.
+			var params []types.Object
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					params = append(params, cx.pkg.TypesInfo.Defs[name])
+				}
+			}
+			idx := cx.poolPutParam(fd, params)
+			if idx < 0 {
+				continue
+			}
+			if obj := cx.pkg.TypesInfo.Defs[fd.Name]; obj != nil {
+				puts[obj] = idx
+			}
+		}
+	}
+	return puts
+}
+
+// poolPutParam returns the index of the parameter fd retires into a
+// free list, or -1: the body appends the parameter to a pool-named
+// slice, or forwards it to (*sync.Pool).Put.
+func (cx *context) poolPutParam(fd *ast.FuncDecl, params []types.Object) int {
+	found := -1
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found >= 0 {
+			return found < 0
+		}
+		var candidates []ast.Expr
+		switch {
+		case cx.isBuiltinAppend(call) && len(call.Args) >= 2 && cx.isPoolSlice(call.Args[0]):
+			candidates = call.Args[1:]
+		case cx.isSyncPoolPut(call):
+			candidates = call.Args
+		}
+		for _, arg := range candidates {
+			obj := cx.objectOf(arg)
+			for i, p := range params {
+				if p != nil && obj == p {
+					if _, ok := p.Type().Underlying().(*types.Pointer); ok {
+						found = i
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (cx *context) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, builtin := cx.pkg.TypesInfo.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// isPoolSlice reports whether e names a free-list container: a slice
+// whose identifier or field name contains "pool" or "free".
+func (cx *context) isPoolSlice(e ast.Expr) bool {
+	var name string
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	if t := cx.typeOf(e); t != nil {
+		if _, ok := t.Underlying().(*types.Slice); !ok {
+			return false
+		}
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "pool") || strings.Contains(lower, "free")
+}
+
+// isSyncPoolPut reports whether call is (*sync.Pool).Put.
+func (cx *context) isSyncPoolPut(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	t := cx.typeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// flowPoolLifetime runs the released-value analysis over one function.
+func (cx *context) flowPoolLifetime(fd *ast.FuncDecl, puts map[types.Object]int) {
+	tf := func(n ast.Node, f facts, report bool) {
+		if ri, ok := n.(rangeIter); ok {
+			n = ri.stmt.Key // iteration vars; body nodes flow separately
+			if n == nil {
+				return
+			}
+		}
+		// Reads of released values first: within one statement the uses
+		// happen before any put or rebind the statement performs. A plain
+		// = or := left-hand identifier is a pure write, not a use — it
+		// revives the variable rather than touching the pooled object.
+		if report {
+			if as, ok := n.(*ast.AssignStmt); ok && (as.Tok == token.ASSIGN || as.Tok == token.DEFINE) {
+				for _, rhs := range as.Rhs {
+					cx.reportReleasedUses(rhs, f)
+				}
+				for _, lhs := range as.Lhs {
+					if _, isIdent := ast.Unparen(lhs).(*ast.Ident); !isIdent {
+						cx.reportReleasedUses(lhs, f)
+					}
+				}
+			} else {
+				cx.reportReleasedUses(n, f)
+			}
+		}
+		// Kills: a whole-variable = or := binds a fresh object.
+		if as, ok := n.(*ast.AssignStmt); ok && (as.Tok == token.ASSIGN || as.Tok == token.DEFINE) {
+			for _, lhs := range as.Lhs {
+				if obj := cx.objectOf(lhs); obj != nil {
+					f.clear(obj, factReleased)
+				}
+			}
+		}
+		// Gens: pool puts release their argument.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range cx.putArgs(call, puts) {
+				if obj := cx.objectOf(arg); obj != nil {
+					f.set(obj, factReleased)
+				}
+			}
+			return true
+		})
+	}
+	forwardMay(fd, nil, tf)
+}
+
+// putArgs returns the argument expressions call retires into a pool:
+// the inferred put parameter of a same-package put function, every
+// argument of (*sync.Pool).Put, or the appended values of a direct
+// append to a free-list slice.
+func (cx *context) putArgs(call *ast.CallExpr, puts map[types.Object]int) []ast.Expr {
+	if cx.isSyncPoolPut(call) {
+		return call.Args
+	}
+	if cx.isBuiltinAppend(call) && len(call.Args) >= 2 && cx.isPoolSlice(call.Args[0]) {
+		return call.Args[1:]
+	}
+	var callee types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee = cx.pkg.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		callee = cx.pkg.TypesInfo.Uses[fun.Sel]
+	}
+	if callee == nil {
+		return nil
+	}
+	idx, ok := puts[callee]
+	if !ok || idx >= len(call.Args) {
+		return nil
+	}
+	return call.Args[idx : idx+1]
+}
+
+// reportReleasedUses flags every mention of a released variable in n,
+// outside the put call that released it (the release itself is not a
+// use) and outside nested function literals.
+func (cx *context) reportReleasedUses(n ast.Node, f facts) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			obj := cx.pkg.TypesInfo.Uses[m]
+			if !f.has(obj, factReleased) {
+				return true
+			}
+			cx.reportf(m.Pos(), "%s is used after being returned to the pool: the free list may have already handed it to another message", m.Name)
+			// One report per variable per statement is enough; revive it
+			// locally so a long expression does not repeat itself.
+			f.clear(obj, factReleased)
+		}
+		return true
+	})
+}

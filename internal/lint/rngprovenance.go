@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkRNGProvenance enforces seed provenance on the simulation result
+// path: every PCG a determinism package constructs or reseeds must be
+// data-flow-traceable to a seed handed in by the caller — ultimately the
+// Scenario/replication seed — never to an ambient package-level variable
+// or a bare literal. The determinism checker already bans draws from the
+// process-global generator; this pass closes the remaining hole, where a
+// correctly *typed* seeded generator is fed a constant (every
+// replication replays the same stream) or a package-level value (runs
+// stop being a pure function of the scenario seed).
+//
+// The analysis is a forward taint pass per function: parameters and the
+// receiver are seed-derived; assignments propagate the taint through
+// arithmetic, conversions and calls that take tainted operands. At each
+// rand.NewPCG / rand.New / (*rand.PCG).Seed call site, at least one
+// argument must be seed-derived. Package-level rand generator variables
+// are findings outright.
+func checkRNGProvenance(cx *context) {
+	if !cx.cfg.isDeterminism(cx.pkg.Path) {
+		return
+	}
+	for _, f := range cx.pkg.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				if d.Tok == token.VAR {
+					cx.checkAmbientGenerator(d)
+				}
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					cx.flowRNGProvenance(d)
+				}
+			}
+		}
+	}
+}
+
+// checkAmbientGenerator flags package-level rand generator state: a
+// *rand.Rand, *rand.PCG or rand.Source at package scope is ambient RNG
+// state by construction — no call path can tie its stream to the
+// replication seed, and concurrent sweep workers would share it.
+func (cx *context) checkAmbientGenerator(gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := cx.pkg.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if kind := randKind(obj.Type()); kind != "" {
+				cx.reportf(name.Pos(), "package-level %s %s is ambient RNG state: generators must be constructed from the replication seed and owned by the run", kind, name.Name)
+			}
+		}
+	}
+}
+
+// randKind classifies a math/rand/v2 generator type, or returns "".
+func randKind(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	if named.Obj().Pkg().Path() != "math/rand/v2" {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Rand", "PCG", "ChaCha8", "Zipf":
+		return "rand." + named.Obj().Name()
+	}
+	return ""
+}
+
+// flowRNGProvenance runs the seed-taint analysis over one function.
+func (cx *context) flowRNGProvenance(fd *ast.FuncDecl) {
+	init := make(facts)
+	for _, p := range cx.paramObjects(fd) {
+		init.set(p, factSeeded)
+	}
+	inLoop := loopPositions(fd)
+	tf := func(n ast.Node, f facts, report bool) {
+		if ri, ok := n.(rangeIter); ok {
+			// Iteration variables of a tainted range source are tainted
+			// (ranging a seed slice hands out seeds).
+			rs := ri.stmt
+			tainted := rs.X != nil && cx.exprTainted(rs.X, f)
+			for _, e := range []ast.Expr{rs.Key, rs.Value} {
+				if e == nil {
+					continue
+				}
+				if id, ok := e.(*ast.Ident); ok {
+					obj := cx.pkg.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = cx.pkg.TypesInfo.Uses[id]
+					}
+					if tainted {
+						f.set(obj, factSeeded)
+					}
+				}
+			}
+			return
+		}
+		// Propagate taint through assignments.
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i, lhs := range as.Lhs {
+				obj := cx.objectOf(lhs)
+				if obj == nil {
+					continue
+				}
+				if cx.exprTainted(as.Rhs[i], f) {
+					f.set(obj, factSeeded)
+				} else if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+					f.clear(obj, factSeeded)
+				}
+			}
+		}
+		// Check seeding sites.
+		if !report {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			cx.checkSeedCall(call, f, inLoop)
+			return true
+		})
+	}
+	forwardMay(fd, init, tf)
+}
+
+// checkSeedCall flags rand.NewPCG / (*rand.PCG).Seed calls whose
+// arguments are all literal or ambient — none data-flow-reachable from a
+// seed parameter.
+func (cx *context) checkSeedCall(call *ast.CallExpr, f facts, inLoop map[token.Pos]bool) {
+	name, ok := cx.seedCallName(call)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	for _, arg := range call.Args {
+		if cx.exprTainted(arg, f) {
+			return
+		}
+	}
+	detail := "a literal or package-level value"
+	if inLoop[call.Pos()] {
+		detail = "a literal reseed inside a loop — every iteration replays the same stream"
+	}
+	cx.reportf(call.Pos(), "%s seeded from %s: the seed must be data-flow-reachable from the Scenario/replication seed parameter", name, detail)
+}
+
+// seedCallName recognizes the math/rand/v2 seeding entry points:
+// rand.NewPCG, rand.NewChaCha8, and the Seed method of *rand.PCG.
+func (cx *context) seedCallName(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := cx.pkg.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "math/rand/v2" {
+			switch sel.Sel.Name {
+			case "NewPCG", "NewChaCha8":
+				return "rand." + sel.Sel.Name, true
+			}
+			return "", false
+		}
+	}
+	if sel.Sel.Name == "Seed" {
+		if kind := randKind(cx.typeOf(sel.X)); kind != "" {
+			return kind + ".Seed", true
+		}
+	}
+	return "", false
+}
+
+// exprTainted reports whether any identifier read by e carries the
+// seed taint, or e contains a call fed by a tainted argument (the
+// result of deriving from a seed is seed-derived). Composite selectors
+// like w.seed taint through their base: a field of a tainted struct is
+// seed-derived.
+func (cx *context) exprTainted(e ast.Expr, f facts) bool {
+	return cx.exprMentions(e, f, factSeeded)
+}
+
+// loopPositions records the positions of call expressions lexically
+// inside a for/range body within fd — used only to sharpen the
+// diagnostic message for literal reseeds in loops.
+func loopPositions(fd *ast.FuncDecl) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	var mark func(n ast.Node)
+	mark = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				out[call.Pos()] = true
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			mark(n.Body)
+		case *ast.RangeStmt:
+			mark(n.Body)
+		}
+		return true
+	})
+	return out
+}

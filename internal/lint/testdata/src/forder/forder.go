@@ -1,0 +1,93 @@
+// Package forder is the floatorder checker's fixture: float folds whose
+// result depends on map iteration order (findings) against the ordered
+// and order-independent shapes that must stay clean.
+package forder
+
+import "sort"
+
+// SumMap folds floats in hash order: the canonical finding.
+func SumMap(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want: float accumulation over a map
+	}
+	return s
+}
+
+// ProductMap: multiplication is no more associative than addition.
+func ProductMap(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want: float accumulation over a map
+	}
+	return p
+}
+
+// SelfAssign is the x = x + v spelling of the same fold.
+func SelfAssign(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s = s + v // want: float accumulation over a map
+	}
+	return s
+}
+
+// SumCollected folds a slice that was collected from a map and never
+// sorted: the order is still the hash order, one hop removed.
+func SumCollected(m map[string]float64) float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	var s float64
+	for _, v := range vals {
+		s += v // want: float accumulation over a slice collected from a map
+	}
+	return s
+}
+
+// SumSorted is the canonical fix: collect, sort, fold.
+func SumSorted(m map[string]float64) float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// CountMap accumulates an int: integer addition commutes exactly.
+func CountMap(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SumSlice folds a parameter slice: the caller fixed the order.
+func SumSlice(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+type bucket struct {
+	total float64
+	count int
+}
+
+// Normalize touches each map value exactly once through the loop-local
+// pointer: no value carries across iterations, so order cannot reach
+// the result. Pins the ClassStats-normalization shape as clean.
+func Normalize(m map[string]*bucket) {
+	for _, b := range m {
+		b.total /= float64(b.count)
+	}
+}

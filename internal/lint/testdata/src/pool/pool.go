@@ -1,0 +1,102 @@
+// Package pool is the poollifetime checker's fixture: every shape of
+// use-after-free-list-put the dataflow pass must catch, plus the clean
+// lifecycles that must stay diagnostic-free.
+package pool
+
+import "sync"
+
+type item struct {
+	n    int
+	next *item
+}
+
+// q owns a slice free list, the wormhole worm/message pool shape.
+type q struct {
+	pool []*item
+	seen int
+}
+
+// put is an inferred pool-put function: it appends its pointer
+// parameter to a pool-named slice.
+func (s *q) put(it *item) {
+	it.next = nil
+	s.pool = append(s.pool, it)
+}
+
+// retire is the free-function flavor of the same.
+func retire(s *q, it *item) {
+	s.pool = append(s.pool, it)
+}
+
+// UseAfterPut reads a field after the value went back to the pool.
+func (s *q) UseAfterPut(it *item) int {
+	s.put(it)
+	return it.n // want: used after being returned to the pool
+}
+
+// WriteAfterPut stores through the released value.
+func (s *q) WriteAfterPut(it *item) {
+	retire(s, it)
+	it.n = 1 // want: used after being returned to the pool
+}
+
+// MayPut releases on only one path; the later use is still a finding —
+// the analysis is a may-analysis.
+func (s *q) MayPut(it *item, done bool) {
+	if done {
+		s.put(it)
+	}
+	s.seen += it.n // want: used after being returned to the pool
+}
+
+// DirectAppend releases without going through a put helper.
+func (s *q) DirectAppend(it *item) {
+	s.pool = append(s.pool, it)
+	it.n = 2 // want: used after being returned to the pool
+}
+
+// SyncPoolPut covers the stdlib pool.
+func SyncPoolPut(sp *sync.Pool, it *item) int {
+	sp.Put(it)
+	return it.n // want: used after being returned to the pool
+}
+
+// LoopPut releases inside a loop body; the next iteration's read of the
+// same variable is a finding via the back edge.
+func (s *q) LoopPut(items []*item) int {
+	total := 0
+	var last *item
+	for _, it := range items {
+		if last != nil {
+			total += last.n // want: used after being returned to the pool
+		}
+		last = it
+		s.put(last)
+	}
+	return total
+}
+
+// CleanLifecycle puts last: nothing after the release.
+func (s *q) CleanLifecycle(it *item) {
+	it.n = 0
+	s.put(it)
+}
+
+// Reassigned revives the variable: after rebinding it names a fresh
+// object, so the later use is fine.
+func (s *q) Reassigned(it *item) int {
+	s.put(it)
+	it = &item{n: 7}
+	return it.n
+}
+
+// FreshFromPool pops before pushing a different value: no overlap.
+func (s *q) FreshFromPool(old *item) *item {
+	s.put(old)
+	if n := len(s.pool); n > 0 {
+		it := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return it
+	}
+	return &item{}
+}

@@ -1,0 +1,53 @@
+// Package rng is the rngprovenance checker's fixture: generators seeded
+// from values data-flow-reachable from a parameter (clean) against
+// literal and ambient seeds (findings). The package is listed among the
+// fixture's determinism packages, so the taint analysis runs here.
+package rng
+
+import "math/rand/v2"
+
+// Good seeds straight from the parameter.
+func Good(seed uint64) float64 {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)).Float64()
+}
+
+// Derived seeds from arithmetic over the parameter through a local: the
+// taint must survive assignment chains.
+func Derived(seed uint64, rep int) float64 {
+	s := seed + uint64(rep)*0x9e37
+	stream := s ^ 0xda94
+	return rand.New(rand.NewPCG(s, stream)).Float64()
+}
+
+// PerWorker hands each worker a seed from a tainted slice: range over a
+// seed-derived source taints the iteration variables.
+func PerWorker(seeds []uint64) float64 {
+	total := 0.0
+	for _, s := range seeds {
+		total += rand.New(rand.NewPCG(s, 1)).Float64()
+	}
+	return total
+}
+
+// Bad seeds from bare literals: every replication replays one stream.
+func Bad() float64 {
+	return rand.New(rand.NewPCG(1, 2)).Float64() // want: seeded from a literal
+}
+
+// BadLoop reseeds with constants inside the loop.
+func BadLoop(n int) uint64 {
+	var pcg rand.PCG
+	var acc uint64
+	for i := 0; i < n; i++ {
+		pcg.Seed(42, 43) // want: literal reseed inside a loop
+		acc += pcg.Uint64()
+	}
+	return acc
+}
+
+// ambient is package-level generator state: a finding by construction.
+var ambient = rand.New(rand.NewPCG(7, 9)) // want: ambient RNG state
+
+// UseAmbient exists so the var is not dead code; the draw itself is the
+// determinism checker's business, not this checker's.
+func UseAmbient() float64 { return ambient.Float64() }

@@ -1,0 +1,62 @@
+// Package shared is the sharedstate audit's fixture: package-level
+// state in every justification posture, plus struct fields the field
+// inventory must attribute to their writers.
+package shared
+
+// counter is runtime-mutated with no justification: the finding.
+var counter int // want: document the concurrency story
+
+//quarcflow:shared pure memoization guarded upstream; hits and misses are indistinguishable
+var cache = map[string]int{}
+
+//quarcflow:shared
+var badDoc int // want: malformed directive (no reason)
+
+// initOnly is written only in init: inventoried with no writers.
+var initOnly = 3
+
+// registry is a struct-typed global whose field Rename mutates: the
+// field path write must surface as a writer of the global.
+var registry Box // want: document the concurrency story
+
+func init() { initOnly = 4 }
+
+// RegisterThing is a Register* wrapper: its writes are init-time by the
+// registry-hygiene contract, so they do not count as runtime mutation.
+func RegisterThing(name string, v int) {
+	cache[name] = v
+}
+
+// Bump and Touch are the runtime writers the findings name.
+func Bump() { counter++ }
+
+func Touch(v int) { badDoc = v }
+
+// Rename writes a field of the registry global.
+func Rename(label string) { registry.Label = label }
+
+// Lookup only reads: reads never make a writer.
+func Lookup(k string) int { return cache[k] }
+
+// Box is the field-inventory subject.
+type Box struct {
+	N     int
+	Label string
+}
+
+// Fill is a runtime field writer.
+func (b *Box) Fill(n int) { b.N = n }
+
+// Clear stores the whole struct: recorded as field "*".
+func (b *Box) Clear() { *b = Box{} }
+
+// NewBox is a constructor: its stores are initialization, not shared
+// mutation.
+func NewBox(n int) *Box {
+	b := &Box{}
+	b.N = n
+	return b
+}
+
+// ResetBox is likewise excluded.
+func ResetBox(b *Box) { b.N = 0 }

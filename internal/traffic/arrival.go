@@ -43,6 +43,7 @@ type ArrivalProcess interface {
 }
 
 var (
+	//quarcflow:shared registry lock only; arrivalReg is written via RegisterArrival at init time and read-locked afterward, so replications never observe a mutation
 	arrivalMu  sync.RWMutex
 	arrivalReg = map[string]ArrivalProcess{}
 )

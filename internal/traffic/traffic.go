@@ -329,8 +329,11 @@ func NewWorkload(router routing.Router, spec Spec, seed uint64) (*Workload, erro
 // maxCachedTables entries: a flush only costs recomputation, never
 // correctness.
 var (
-	routeMu         sync.Mutex
-	unicastTables   = map[routing.Router][][]routing.Branch{}
+	//quarcflow:shared mutex-guarded memo cache; a hit and a miss return bitwise-identical tables (routes are a pure function of the router), so the cache never changes a Result — a parallel engine can keep it as-is or drop it per-shard
+	routeMu sync.Mutex
+	//quarcflow:shared see routeMu: pure-memoization cache guarded by routeMu, value identity never affects results
+	unicastTables = map[routing.Router][][]routing.Branch{}
+	//quarcflow:shared see routeMu: pure-memoization cache guarded by routeMu, value identity never affects results
 	multicastTables = map[multicastKey][][]routing.Branch{}
 )
 

@@ -11,8 +11,20 @@
 //
 // Example:
 //
-//	quarcd -addr :8080 -workers 8 -cache 4096 &
+//	quarcd -addr :8080 -workers 8 -cache 4096 -store /var/lib/quarc &
 //	curl -s localhost:8080/v1/evaluate -d '{"topology":"quarc","n":16,"rate":0.002,"alpha":0.05,"pattern":"localized","dests":4}'
+//
+// With -store, results are persisted to a durable on-disk store keyed
+// by the spec's content address: a restarted daemon serves previously
+// computed specs warm, bitwise-identical, without re-simulating.
+//
+// With -peers, this daemon fronts a fleet: sweeps fan per-rate jobs out
+// to the peer daemons with retries, hedging and per-peer circuit
+// breakers, degrading to local evaluation when no peer can serve:
+//
+//	quarcd -addr :8081 &
+//	quarcd -addr :8082 &
+//	quarcd -addr :8080 -peers http://localhost:8081,http://localhost:8082
 //
 // The same JSON documents drive quarcsim -spec, so a scenario debugged
 // on the command line is served unchanged.
@@ -23,13 +35,17 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"quarc/noc/service"
+	"quarc/noc/service/fleet"
+	"quarc/noc/service/store"
 )
 
 func main() {
@@ -41,27 +57,74 @@ func main() {
 	cache := flag.Int("cache", 1024, "result cache entries")
 	scenarios := flag.Int("scenarios", 64, "compiled base-scenario cache entries")
 	queue := flag.Int("queue", 0, "pending-job queue depth (0: 4x workers)")
+	storeDir := flag.String("store", "", "durable result store directory (empty: memory only)")
+	peers := flag.String("peers", "", "comma-separated peer quarcd URLs to fan jobs out to")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-evaluation server deadline, answered with 504 (0: none)")
+	peerTimeout := flag.Duration("peer-timeout", 30*time.Second, "per-job peer call deadline")
+	readTimeout := flag.Duration("read-timeout", time.Minute, "connection read deadline")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "connection write deadline")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
 	flag.Parse()
 
-	ev := service.New(service.Config{
+	cfg := service.Config{
 		CacheEntries:    *cache,
 		ScenarioEntries: *scenarios,
 		Workers:         *workers,
 		QueueDepth:      *queue,
-	})
+	}
+	if *storeDir != "" {
+		st, err := store.Open(store.Config{Dir: *storeDir})
+		if err != nil {
+			log.Fatalf("opening store: %v", err)
+		}
+		cfg.Store = st
+		log.Printf("store %s: %d durable results, %d quarantined", *storeDir, st.Len(), st.Quarantined())
+	}
+	ev := service.New(cfg)
+
+	var backend service.Backend = ev
+	if *peers != "" {
+		var urls []string
+		for _, u := range strings.Split(*peers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		d, err := fleet.New(fleet.Config{
+			Peers:          urls,
+			Local:          ev,
+			RequestTimeout: *peerTimeout,
+			HedgeAfter:     *peerTimeout / 4,
+		})
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		backend = d
+		log.Printf("fleet dispatch to %d peers: %s", len(urls), strings.Join(urls, ", "))
+	}
+
+	// An explicit listener (rather than ListenAndServe) pins down the
+	// bound address, so ":0" works for tests and the log line names the
+	// real port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.NewHandler(ev),
+		Handler:           service.NewHandlerConfig(backend, service.HandlerConfig{RequestTimeout: *requestTimeout}),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving on %s (workers=%d cache=%d)", *addr, ev.Stats().Workers, *cache)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("serving on %s (workers=%d cache=%d)", ln.Addr(), ev.Stats().Workers, *cache)
 
 	select {
 	case err := <-errc:
@@ -69,8 +132,10 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests within
-	// the deadline, then stop the evaluation pool.
+	// Graceful shutdown: report degraded on healthz so fleet breakers
+	// and load balancers rotate away, stop accepting, drain in-flight
+	// requests within the deadline, then stop the evaluation pool.
+	ev.SetDraining(true)
 	log.Printf("shutting down (draining up to %s)", *drainTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -79,5 +144,6 @@ func main() {
 	}
 	ev.Close()
 	st := ev.Stats()
-	log.Printf("stopped: %d evaluations, %d cache hits, %d coalesced", st.Evaluations, st.Hits, st.Coalesced)
+	log.Printf("stopped: %d evaluations, %d cache hits, %d coalesced, %d store hits",
+		st.Evaluations, st.Hits, st.Coalesced, st.StoreHits)
 }

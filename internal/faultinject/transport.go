@@ -1,0 +1,60 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport injects faults into an HTTP client's round trips — the
+// fleet's peer-transport seam. KindError fails the request before it
+// leaves, KindLatency delays it (honoring the request context, so a
+// hedged caller can abandon a delayed request), and KindPartial
+// truncates the response body mid-document so the caller's JSON decode
+// fails the way a connection dropped mid-response would.
+type Transport struct {
+	// Base performs the real round trip; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// Point is the injection-point name, e.g. "peer".
+	Point string
+	// Inj decides each call; nil never injects.
+	Inj *Injector
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.Inj.Decide(t.Point)
+	switch d.Kind {
+	case KindError:
+		return nil, fmt.Errorf("%w: %s %s", ErrInjected, req.Method, req.URL.Redacted())
+	case KindLatency:
+		timer := time.NewTimer(d.Latency)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || d.Kind != KindPartial {
+		return resp, err
+	}
+	// Truncate the delivered body to half; a JSON document cut in the
+	// middle can never decode, so the client sees a malformed response,
+	// not a plausible wrong one.
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: draining response for truncation: %w", err)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body[:len(body)/2]))
+	return resp, nil
+}

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quarc/noc/service"
+)
+
+// Breaker states as reported in PeerHealth.
+const (
+	stateClosed = "closed"
+	stateOpen   = "open"
+)
+
+// peer is one fleet member plus its circuit breaker. The breaker opens
+// after FailThreshold consecutive failures and re-admits the peer only
+// after a cooldown AND a 200 from its /v1/healthz — a degraded (503)
+// peer stays out of rotation even though it answers.
+type peer struct {
+	url string
+
+	failures  atomic.Uint64
+	successes atomic.Uint64
+
+	mu          sync.Mutex
+	consecFails int
+	open        bool
+	openedAt    time.Time
+	probing     bool
+}
+
+func (p *peer) snapshot() service.PeerHealth {
+	p.mu.Lock()
+	state := stateClosed
+	if p.open {
+		state = stateOpen
+	}
+	p.mu.Unlock()
+	return service.PeerHealth{
+		URL:       p.url,
+		State:     state,
+		Failures:  p.failures.Load(),
+		Successes: p.successes.Load(),
+	}
+}
+
+// recordSuccess closes the breaker: any served job proves the peer is
+// back.
+func (d *Dispatcher) recordSuccess(p *peer) {
+	p.successes.Add(1)
+	p.mu.Lock()
+	p.consecFails = 0
+	p.open = false
+	p.mu.Unlock()
+}
+
+// recordFailure counts one failed call and opens the breaker at the
+// threshold.
+func (d *Dispatcher) recordFailure(p *peer) {
+	p.failures.Add(1)
+	p.mu.Lock()
+	p.consecFails++
+	if p.consecFails >= d.cfg.FailThreshold && !p.open {
+		p.open = true
+		p.openedAt = time.Now()
+		d.breakerOpens.Add(1)
+	}
+	p.mu.Unlock()
+}
+
+// admissible reports whether the peer may receive a job. A closed
+// breaker admits immediately. An open one admits only after the
+// cooldown has elapsed and a live healthz probe answers 200; a failed
+// probe restarts the cooldown. At most one goroutine probes a given
+// peer at a time — the rest treat it as still open.
+func (d *Dispatcher) admissible(p *peer) bool {
+	p.mu.Lock()
+	if !p.open {
+		p.mu.Unlock()
+		return true
+	}
+	if time.Since(p.openedAt) < d.cfg.Cooldown || p.probing {
+		p.mu.Unlock()
+		return false
+	}
+	p.probing = true
+	p.mu.Unlock()
+
+	ok := d.probe(p.url)
+
+	p.mu.Lock()
+	p.probing = false
+	if ok {
+		p.open = false
+		p.consecFails = 0
+	} else {
+		p.openedAt = time.Now()
+	}
+	p.mu.Unlock()
+	return ok
+}
+
+// probe asks the peer's healthz whether it is serving. Only a 200
+// re-admits: a 503 (draining, saturated) keeps the breaker open.
+func (d *Dispatcher) probe(url string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

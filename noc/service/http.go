@@ -23,10 +23,51 @@ const (
 	// HeaderFingerprint carries the spec's FNV-1a content address
 	// (hexadecimal, 16 digits).
 	HeaderFingerprint = "X-Quarc-Fingerprint"
-	// HeaderSource carries the response Source: computed, cache or
-	// coalesced.
+	// HeaderSource carries the response Source: computed, cache,
+	// coalesced, store or fleet.
 	HeaderSource = "X-Quarc-Source"
 )
+
+// Backend is what the HTTP handler serves: the local Evaluator, or a
+// fleet.Dispatcher fanning jobs out to peer daemons. Implementations
+// must be safe for concurrent use.
+type Backend interface {
+	// Evaluate serves one spec; see Evaluator.Evaluate.
+	Evaluate(ctx context.Context, sp noc.Spec) (noc.Result, Source, error)
+	// Sweep evaluates the spec across a rate grid; see Evaluator.Sweep.
+	Sweep(ctx context.Context, sp noc.Spec, rates []float64) ([]noc.Result, error)
+	// Stats snapshots the serving counters.
+	Stats() Stats
+	// Healthz reports current serviceability.
+	Healthz() HealthState
+}
+
+// PeerReporter is the optional Backend extension a fleet dispatcher
+// implements; when present, /v1/healthz includes the per-peer circuit
+// breaker states.
+type PeerReporter interface {
+	PeerHealth() []PeerHealth
+}
+
+// PeerHealth is one peer's circuit-breaker snapshot in the healthz
+// response.
+type PeerHealth struct {
+	URL string `json:"url"`
+	// State is "closed" (serving) or "open" (failed out, awaiting a
+	// healthz probe).
+	State string `json:"state"`
+	// Failures and Successes are lifetime call counts.
+	Failures  uint64 `json:"failures"`
+	Successes uint64 `json:"successes"`
+}
+
+// HandlerConfig tunes NewHandlerConfig.
+type HandlerConfig struct {
+	// RequestTimeout is the per-evaluation server deadline for the
+	// evaluate and sweep routes; when it expires before the client's
+	// own context, the response is 504 Gateway Timeout. Zero disables.
+	RequestTimeout time.Duration
+}
 
 // SweepRequest is the POST /v1/sweep document: one spec plus the rate
 // grid to evaluate it across.
@@ -58,11 +99,16 @@ type Registry struct {
 	Evaluators []string `json:"evaluators"`
 }
 
-// Health is the GET /v1/healthz response body.
+// Health is the GET /v1/healthz response body. Status "ok" is served
+// with 200; anything else (draining, saturated queue) with 503 so load
+// balancers and fleet circuit breakers take the box out of rotation
+// while it still answers.
 type Health struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Stats         Stats   `json:"stats"`
+	Status        string       `json:"status"`
+	Reason        string       `json:"reason,omitempty"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Stats         Stats        `json:"stats"`
+	Peers         []PeerHealth `json:"peers,omitempty"`
 }
 
 // errorBody is every non-2xx response body.
@@ -70,7 +116,7 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// NewHandler wraps the evaluator in the quarcd HTTP API:
+// NewHandler wraps the backend in the quarcd HTTP API:
 //
 //	POST /v1/evaluate  Spec JSON          -> Result JSON
 //	POST /v1/sweep     {spec, rates}      -> {fingerprint, points}
@@ -78,8 +124,13 @@ type errorBody struct {
 //	GET  /v1/healthz                      -> status + cache/pool stats
 //
 // Evaluate and sweep responses carry X-Quarc-Fingerprint (the content
-// address) and X-Quarc-Source (computed/cache/coalesced).
-func NewHandler(e *Evaluator) http.Handler {
+// address) and X-Quarc-Source (computed/cache/coalesced/store/fleet).
+func NewHandler(b Backend) http.Handler {
+	return NewHandlerConfig(b, HandlerConfig{})
+}
+
+// NewHandlerConfig is NewHandler with explicit tuning.
+func NewHandlerConfig(b Backend, hc HandlerConfig) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
@@ -87,9 +138,11 @@ func NewHandler(e *Evaluator) http.Handler {
 		if !ok {
 			return
 		}
-		res, src, err := e.Evaluate(r.Context(), sp)
+		ctx, cancel := hc.requestCtx(r)
+		defer cancel()
+		res, src, err := b.Evaluate(ctx, sp)
 		if err != nil {
-			writeError(w, err)
+			writeRequestError(w, r, ctx, err)
 			return
 		}
 		w.Header().Set(HeaderFingerprint, fmt.Sprintf("%016x", sp.Fingerprint()))
@@ -124,9 +177,11 @@ func NewHandler(e *Evaluator) http.Handler {
 			writeError(w, err)
 			return
 		}
-		results, err := e.Sweep(r.Context(), req.Spec, req.Rates)
+		ctx, cancel := hc.requestCtx(r)
+		defer cancel()
+		results, err := b.Sweep(ctx, req.Spec, req.Rates)
 		if err != nil {
-			writeError(w, err)
+			writeRequestError(w, r, ctx, err)
 			return
 		}
 		resp := SweepResponse{
@@ -150,13 +205,32 @@ func NewHandler(e *Evaluator) http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, Health{
-			Status:        "ok",
+		hs := b.Healthz()
+		h := Health{
+			Status:        hs.Status,
+			Reason:        hs.Reason,
 			UptimeSeconds: time.Since(start).Seconds(),
-			Stats:         e.Stats(),
-		})
+			Stats:         b.Stats(),
+		}
+		if pr, ok := b.(PeerReporter); ok {
+			h.Peers = pr.PeerHealth()
+		}
+		status := http.StatusOK
+		if hs.Status != StatusOK {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
 	})
 	return mux
+}
+
+// requestCtx derives the evaluation context: the request's own context,
+// bounded by the configured per-evaluation deadline when one is set.
+func (hc HandlerConfig) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if hc.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), hc.RequestTimeout)
 }
 
 // decodeSpec reads and strictly parses the request body as a Spec,
@@ -173,6 +247,20 @@ func decodeSpec(w http.ResponseWriter, r *http.Request) (noc.Spec, bool) {
 		return noc.Spec{}, false
 	}
 	return sp, true
+}
+
+// writeRequestError distinguishes the server-imposed evaluation
+// deadline from a client cancelation before falling back to the shared
+// status mapping: when the evaluation context hit its deadline while
+// the client was still waiting, the request timed out server-side and
+// the honest answer is 504 Gateway Timeout, not the client-gone 499.
+func writeRequestError(w http.ResponseWriter, r *http.Request, ctx context.Context, err error) {
+	if errors.Is(err, context.DeadlineExceeded) &&
+		errors.Is(ctx.Err(), context.DeadlineExceeded) && r.Context().Err() == nil {
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+		return
+	}
+	writeError(w, err)
 }
 
 // writeError maps service/spec errors onto HTTP statuses: client

@@ -13,9 +13,14 @@
 //     routing tables and their pooled wormhole networks across requests,
 //     exactly like a noc.Sweep worker does across points.
 //
+// With Config.Store set, a durable on-disk layer (noc/service/store)
+// sits behind the LRU: computed results are persisted write-through,
+// and a restarted evaluator serves its warm set from disk — checksummed
+// and bitwise-identical — instead of recomputing it.
+//
 // Every response is bitwise-identical to evaluating the spec cold with
-// noc.Simulator/noc.Model directly — caching and pooling are pure
-// memoization (pinned by the package tests).
+// noc.Simulator/noc.Model directly — caching, pooling and persistence
+// are pure memoization (pinned by the package tests).
 package service
 
 import (
@@ -28,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"quarc/noc"
+	"quarc/noc/service/store"
 )
 
 // Sentinel errors; match with errors.Is.
@@ -41,8 +47,9 @@ var (
 	ErrTraceSpec = errors.New("service: trace record/replay specs are not servable")
 )
 
-// maxSweepPoints bounds one sweep request's rate grid.
-const maxSweepPoints = 1024
+// MaxSweepPoints bounds one sweep request's rate grid, here and in the
+// fleet dispatcher that fans sweeps out.
+const MaxSweepPoints = 1024
 
 // Config sizes an Evaluator. The zero value selects the defaults.
 type Config struct {
@@ -57,6 +64,9 @@ type Config struct {
 	// Submitters past it block until a worker frees up or their context
 	// expires.
 	QueueDepth int
+	// Store, when non-nil, persists every computed Result and serves
+	// warm entries across restarts.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +96,12 @@ const (
 	// SourceCoalesced means the request joined an identical in-flight
 	// evaluation (singleflight).
 	SourceCoalesced Source = "coalesced"
+	// SourceStore means the Result was read from the durable on-disk
+	// store (a warm restart).
+	SourceStore Source = "store"
+	// SourceFleet means a fleet dispatcher obtained the Result from a
+	// peer quarcd rather than the local pool.
+	SourceFleet Source = "fleet"
 )
 
 // Stats is a point-in-time snapshot of the evaluator's counters.
@@ -99,12 +115,39 @@ type Stats struct {
 	// Evictions counts cache entries dropped by the LRU bound.
 	Evaluations uint64 `json:"evaluations"`
 	Evictions   uint64 `json:"evictions"`
+	// StoreHits counts Evaluate calls served from the durable store;
+	// StoreErrors counts persistence failures (the response still
+	// succeeds — durability is best-effort per request).
+	StoreHits   uint64 `json:"store_hits,omitempty"`
+	StoreErrors uint64 `json:"store_errors,omitempty"`
+	// DurableResults/Quarantined snapshot the durable store: live
+	// entries and entries rejected by validation since open. Zero when
+	// no store is configured.
+	DurableResults int    `json:"durable_results,omitempty"`
+	Quarantined    uint64 `json:"quarantined,omitempty"`
 	// CachedResults/CachedScenarios/InFlight are current occupancy.
 	CachedResults   int `json:"cached_results"`
 	CachedScenarios int `json:"cached_scenarios"`
 	InFlight        int `json:"in_flight"`
 	// Workers echoes the pool size.
 	Workers int `json:"workers"`
+}
+
+// Health statuses.
+const (
+	// StatusOK means the backend accepts new work.
+	StatusOK = "ok"
+	// StatusDegraded means the backend still answers but should not
+	// receive new work (draining, saturated); healthz maps it to 503.
+	StatusDegraded = "degraded"
+)
+
+// HealthState is a backend's serviceability verdict, served by
+// GET /v1/healthz and consumed by load balancers and the fleet's
+// per-peer circuit breakers.
+type HealthState struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // flight is one in-progress evaluation; waiters block on done.
@@ -114,11 +157,13 @@ type flight struct {
 	err  error
 }
 
-// job is one queued evaluation.
+// job is one queued evaluation. persist marks results the durable
+// store has not seen yet (computed, as opposed to read back from it).
 type job struct {
-	key string
-	sp  noc.Spec
-	f   *flight
+	key     string
+	sp      noc.Spec
+	f       *flight
+	persist bool
 }
 
 // Evaluator is the engine-resident serving core. It is safe for
@@ -135,8 +180,11 @@ type Evaluator struct {
 	bases   *lruCache[*noc.Scenario]
 	flights map[string]*flight
 
+	draining atomic.Bool
+
 	hits, misses, coalesced atomic.Uint64
 	evaluations, evictions  atomic.Uint64
+	storeHits, storeErrors  atomic.Uint64
 }
 
 // New starts an evaluator with cfg.Workers resident workers, each owning
@@ -162,6 +210,7 @@ func New(cfg Config) *Evaluator {
 // fails any jobs still queued with ErrClosed. It is idempotent.
 func (e *Evaluator) Close() {
 	e.once.Do(func() {
+		e.draining.Store(true)
 		close(e.done)
 		e.wg.Wait()
 		for {
@@ -180,17 +229,43 @@ func (e *Evaluator) Stats() Stats {
 	e.mu.Lock()
 	cachedResults, cachedScenarios, inFlight := e.results.len(), e.bases.len(), len(e.flights)
 	e.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Hits:            e.hits.Load(),
 		Misses:          e.misses.Load(),
 		Coalesced:       e.coalesced.Load(),
 		Evaluations:     e.evaluations.Load(),
 		Evictions:       e.evictions.Load(),
+		StoreHits:       e.storeHits.Load(),
+		StoreErrors:     e.storeErrors.Load(),
 		CachedResults:   cachedResults,
 		CachedScenarios: cachedScenarios,
 		InFlight:        inFlight,
 		Workers:         e.cfg.Workers,
 	}
+	if e.cfg.Store != nil {
+		st.DurableResults = e.cfg.Store.Len()
+		st.Quarantined = e.cfg.Store.Quarantined()
+	}
+	return st
+}
+
+// SetDraining flips the drain flag Healthz reports: a draining
+// evaluator still serves, but advertises itself degraded so load
+// balancers and fleet circuit breakers stop routing new work to it.
+// quarcd sets it on SIGTERM before starting the graceful shutdown.
+func (e *Evaluator) SetDraining(v bool) { e.draining.Store(v) }
+
+// Healthz reports the evaluator's serviceability: degraded while
+// draining (shutdown in progress) or when the job queue is saturated
+// (every worker busy and the pending buffer full), ok otherwise.
+func (e *Evaluator) Healthz() HealthState {
+	if e.draining.Load() {
+		return HealthState{Status: StatusDegraded, Reason: "draining: shutdown in progress"}
+	}
+	if cap(e.jobs) > 0 && len(e.jobs) >= cap(e.jobs) {
+		return HealthState{Status: StatusDegraded, Reason: "job queue saturated"}
+	}
+	return HealthState{Status: StatusOK}
 }
 
 // Evaluate serves one spec: from the cache when its canonical encoding
@@ -234,10 +309,22 @@ func (e *Evaluator) Evaluate(ctx context.Context, sp noc.Spec) (noc.Result, Sour
 	f := &flight{done: make(chan struct{})}
 	e.flights[key] = f
 	e.mu.Unlock()
+
+	// Durable layer: a warm restart finds the result on disk. The
+	// lookup runs under the flight, so concurrent identical requests
+	// coalesce onto one disk read exactly as they do onto one
+	// evaluation; resolve() promotes the hit into the LRU.
+	if e.cfg.Store != nil {
+		if res, ok := e.cfg.Store.Get(key); ok {
+			e.storeHits.Add(1)
+			e.resolve(job{key: key, f: f}, res, nil)
+			return res, SourceStore, nil
+		}
+	}
 	e.misses.Add(1)
 
 	select {
-	case e.jobs <- job{key: key, sp: sp, f: f}:
+	case e.jobs <- job{key: key, sp: sp, f: f, persist: true}:
 	case <-ctx.Done():
 		e.resolve(job{key: key, f: f}, noc.Result{}, ctx.Err())
 		return noc.Result{}, "", ctx.Err()
@@ -256,8 +343,8 @@ func (e *Evaluator) Sweep(ctx context.Context, sp noc.Spec, rates []float64) ([]
 	if len(rates) == 0 {
 		return nil, fmt.Errorf("%w: a sweep needs at least one rate", noc.ErrInvalidSpec)
 	}
-	if len(rates) > maxSweepPoints {
-		return nil, fmt.Errorf("%w: %d sweep points exceed the %d-point bound", noc.ErrInvalidSpec, len(rates), maxSweepPoints)
+	if len(rates) > MaxSweepPoints {
+		return nil, fmt.Errorf("%w: %d sweep points exceed the %d-point bound", noc.ErrInvalidSpec, len(rates), MaxSweepPoints)
 	}
 	for _, r := range rates {
 		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
@@ -307,8 +394,16 @@ func (e *Evaluator) wait(ctx context.Context, f *flight) (noc.Result, error) {
 }
 
 // resolve publishes a flight's outcome (caching successes) and wakes its
-// waiters.
+// waiters. Freshly computed results are persisted to the durable store
+// before the flight resolves, so a result is on disk by the time any
+// client has seen it; a persistence failure only degrades durability
+// (counted, response unaffected).
 func (e *Evaluator) resolve(j job, res noc.Result, err error) {
+	if err == nil && j.persist && e.cfg.Store != nil {
+		if perr := e.cfg.Store.Put(j.key, res); perr != nil {
+			e.storeErrors.Add(1)
+		}
+	}
 	e.mu.Lock()
 	if err == nil {
 		e.evictions.Add(uint64(e.results.add(j.key, res)))

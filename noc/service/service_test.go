@@ -154,7 +154,7 @@ func TestSweepDedup(t *testing.T) {
 		t.Errorf("cached scenarios = %d, want 1 shared base", st.CachedScenarios)
 	}
 
-	for _, bad := range [][]float64{nil, {-1}, make([]float64, maxSweepPoints+1)} {
+	for _, bad := range [][]float64{nil, {-1}, make([]float64, MaxSweepPoints+1)} {
 		if _, err := e.Sweep(context.Background(), sp, bad); err == nil {
 			t.Errorf("sweep accepted rates %v", bad)
 		}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk entry layout (all integers big-endian):
+//
+//	magic   [4]byte  "QRS1"
+//	keyLen  uint32
+//	key     [keyLen]byte   canonical spec JSON (the cache key)
+//	valLen  uint32
+//	val     [valLen]byte   the Result's JSON encoding
+//	crc     uint32         CRC-32 (IEEE) over everything above
+//
+// The encoding is canonical: no padding, no trailing bytes, so a
+// successful decode re-encodes to the identical file (pinned by
+// FuzzStoreDecode). Any framing, bounds or checksum violation is
+// ErrCorrupt — the store quarantines such files and never serves them.
+
+// magic identifies a quarc result store entry, version 1.
+const magic = "QRS1"
+
+// Bounds on one entry's fields. Keys are canonical noc.Spec documents
+// (well under a megabyte by the spec codec's own bounds); values are
+// Result JSON, which only trace-bearing results push beyond a few KiB.
+// The caps keep a hostile or trashed file from forcing huge allocations
+// during the Open scan.
+const (
+	maxEntryKey = 1 << 20
+	maxEntryVal = 1 << 26
+)
+
+// ErrCorrupt marks an entry that failed framing or checksum validation.
+// Match with errors.Is.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+// encodeEntry frames one (key, value) record with its checksum.
+func encodeEntry(key string, val []byte) []byte {
+	buf := make([]byte, 0, len(magic)+4+len(key)+4+len(val)+4)
+	buf = append(buf, magic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, val...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// decodeEntry validates one record and returns its key and value. The
+// value aliases data; callers that keep it own the buffer.
+func decodeEntry(data []byte) (key string, val []byte, err error) {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+	if len(data) < len(magic)+4+4+4 {
+		return "", nil, fail("%d bytes is shorter than an empty entry", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return "", nil, fail("bad magic %q", data[:len(magic)])
+	}
+	off := len(magic)
+	keyLen := binary.BigEndian.Uint32(data[off:])
+	off += 4
+	if keyLen > maxEntryKey {
+		return "", nil, fail("key length %d exceeds the %d bound", keyLen, maxEntryKey)
+	}
+	if uint64(off)+uint64(keyLen)+4+4 > uint64(len(data)) {
+		return "", nil, fail("truncated at key: need %d bytes, have %d", keyLen, len(data)-off)
+	}
+	key = string(data[off : off+int(keyLen)])
+	off += int(keyLen)
+	valLen := binary.BigEndian.Uint32(data[off:])
+	off += 4
+	if valLen > maxEntryVal {
+		return "", nil, fail("value length %d exceeds the %d bound", valLen, maxEntryVal)
+	}
+	if uint64(off)+uint64(valLen)+4 > uint64(len(data)) {
+		return "", nil, fail("truncated at value: need %d bytes, have %d", valLen, len(data)-off)
+	}
+	val = data[off : off+int(valLen)]
+	off += int(valLen)
+	sum := binary.BigEndian.Uint32(data[off:])
+	off += 4
+	if off != len(data) {
+		return "", nil, fail("%d trailing bytes after checksum", len(data)-off)
+	}
+	if want := crc32.ChecksumIEEE(data[:len(data)-4]); sum != want {
+		return "", nil, fail("checksum %08x, want %08x", sum, want)
+	}
+	return key, val, nil
+}

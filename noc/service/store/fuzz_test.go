@@ -1,0 +1,30 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStoreDecode throws arbitrary bytes at the on-disk entry codec.
+// Two properties must hold: decodeEntry never panics whatever the
+// input, and the encoding is canonical — any input that decodes
+// successfully re-encodes to the identical bytes, so there is exactly
+// one file representation per (key, value) and a validated entry can be
+// byte-compared without re-parsing.
+func FuzzStoreDecode(f *testing.F) {
+	f.Add(encodeEntry("", nil))
+	f.Add(encodeEntry("key", []byte("value")))
+	f.Add(encodeEntry(`{"topology":"quarc","n":16,"rate":0.002}`, []byte(`{"evaluator":"simulator","unicast":37.2,"multicast":null}`)))
+	f.Add([]byte("QRS1"))
+	f.Add([]byte("QRS1\x00\x00\x00\x04keyx\x00\x00\x00\x01v\xff\xff\xff\xff"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, val, err := decodeEntry(data)
+		if err != nil {
+			return
+		}
+		if re := encodeEntry(key, val); !bytes.Equal(re, data) {
+			t.Fatalf("decode accepted a non-canonical encoding:\n in:  %x\n out: %x", data, re)
+		}
+	})
+}

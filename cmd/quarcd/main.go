@@ -3,11 +3,22 @@
 // deduplication and a bounded worker pool (noc/service) behind a small
 // JSON API.
 //
-//	POST /v1/evaluate  one noc.Spec        -> one noc.Result
-//	POST /v1/sweep     {spec, rates}       -> one Result per rate
-//	GET  /v1/registry                      -> registered topology/router/
-//	                                          pattern/arrival/spatial names
-//	GET  /v1/healthz                       -> status + cache/pool stats
+//	POST /v1/evaluate   one noc.Spec        -> one noc.Result
+//	POST /v1/sweep      {spec, rates}       -> one Result per rate
+//	GET  /v1/trace/{fp}                     -> the Result (with its recorded
+//	                                           time series) of a previous
+//	                                           evaluation, by content address
+//	GET  /dashboard                         -> static time-series viewer
+//	GET  /v1/registry                       -> registered topology/router/
+//	                                           pattern/arrival/spatial names
+//	GET  /v1/healthz                        -> status + cache/pool stats
+//
+// A spec evaluated with "metrics": true carries a bucketed time series
+// in its Result ("series": per-channel utilization, injections,
+// ejections, latency sums, queue occupancy), which /v1/trace re-serves
+// by the spec's fingerprint — from the cache, the durable store, or an
+// evaluation still in flight. In a fleet, trace queries are forwarded
+// to the peer that computed the point.
 //
 // Example:
 //

@@ -54,6 +54,8 @@ func main() {
 	replay := flag.String("replay", "", "replay a workload trace from this file instead of generating traffic")
 	specPath := flag.String("spec", "", "load the scenario from a declarative Spec JSON file (the quarcd wire format); scenario flags may not be combined with it")
 	jsonOut := flag.Bool("json", false, "print the simulator Result as JSON instead of the human-readable report")
+	metrics := flag.Int("metrics", 0, "record a time series with this many buckets (Result JSON gains \"series\"; 0 disables)")
+	obsPath := flag.String("obs", "", "append the raw observability record stream to this file (CRC-framed log; implies -metrics)")
 	flag.Parse()
 
 	var (
@@ -71,7 +73,9 @@ func main() {
 		// The spec document is the single source of truth; a scenario
 		// flag alongside it would silently lose to one of the two, so
 		// refuse the combination outright.
-		allowed := map[string]bool{"spec": true, "compare": true, "json": true}
+		// -obs stays legal alongside -spec: the sink is process-local
+		// (a file on this machine), so it has no spec representation.
+		allowed := map[string]bool{"spec": true, "compare": true, "json": true, "obs": true}
 		var conflicts []string
 		flag.Visit(func(f *flag.Flag) {
 			if !allowed[f.Name] {
@@ -100,6 +104,11 @@ func main() {
 			recordJSON = strings.HasSuffix(sp.Record, ".jsonl")
 		}
 		replaying = sp.Replay
+		if *obsPath != "" && !sp.Metrics {
+			// The raw stream needs the recording hooks attached; default
+			// bucketing appears in the Result as a bonus.
+			sp.Metrics = true
+		}
 		s, err = sp.Scenario()
 		if err != nil {
 			log.Fatal(err)
@@ -160,7 +169,25 @@ func main() {
 		if *trace >= 0 {
 			opts = append(opts, noc.Trace(*trace, *traceLimit))
 		}
+		if *obsPath != "" && *metrics == 0 {
+			*metrics = noc.DefaultMetricsBuckets
+		}
+		if *metrics > 0 {
+			opts = append(opts, noc.Metrics(*metrics))
+		}
 		s, err = noc.NewScenario(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var obsSink *noc.ObsFileSink
+	if *obsPath != "" {
+		obsSink, err = noc.CreateObsFile(*obsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err = s.With(noc.MetricsSink(obsSink))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -169,6 +196,14 @@ func main() {
 	res, err := noc.Simulator{}.Evaluate(s)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if obsSink != nil {
+		if err := obsSink.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("observability: raw record stream written to %s\n", *obsPath)
+		}
 	}
 	if captured != nil && recordPath != "" {
 		f, err := os.Create(recordPath)
@@ -222,6 +257,9 @@ func main() {
 			res.Multicast, res.MulticastCI, res.MulticastN)
 	}
 	fmt.Printf("peak channel utilization: %.4f\n", res.MaxUtil)
+	if res.Series != nil {
+		fmt.Printf("time series:   %s\n", summarizeSeries(res.Series))
+	}
 	if res.DetailSummary != "" {
 		fmt.Print(res.DetailSummary)
 	}
@@ -255,4 +293,26 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// summarizeSeries condenses a recorded time series into one human line:
+// the bucket grid, the busiest channel-bucket and when it happened, and
+// the deepest wait queue. The full series is only emitted under -json.
+func summarizeSeries(ts *noc.TimeSeries) string {
+	peakUtil, peakAt := 0.0, 0.0
+	for _, ch := range ts.ChannelUtil {
+		for b, u := range ch {
+			if u > peakUtil {
+				peakUtil, peakAt = u, (float64(b)+0.5)*ts.BucketWidth
+			}
+		}
+	}
+	maxQueue := 0
+	for _, q := range ts.QueueMax {
+		if q > maxQueue {
+			maxQueue = q
+		}
+	}
+	return fmt.Sprintf("%d buckets x %.0f cycles, peak channel util %.3f near t=%.0f, deepest wait queue %d",
+		ts.Buckets, ts.BucketWidth, peakUtil, peakAt, maxQueue)
 }

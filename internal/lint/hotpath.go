@@ -46,6 +46,7 @@ func defaultHotpaths() map[string][]string {
 			"Network.Handle",
 			"Network.busySpan",
 			"Network.complete",
+			"Network.fire",
 			"Network.flushSpans",
 			"Network.generate",
 			"Network.getMessage",

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAggregateHandCheck folds a tiny hand-written record stream and
+// checks every series column against arithmetic done by hand.
+func TestAggregateHandCheck(t *testing.T) {
+	// Two channels, run of [0,100), 4 buckets of width 25.
+	recs := []Record{
+		{Kind: KindInjected, Time: 5, Msg: 1},
+		{Kind: KindGranted, Time: 10, Channel: 0, Msg: 1},
+		{Kind: KindQueue, Time: 12, Channel: 1, Occupancy: 3},
+		{Kind: KindInjected, Time: 30, Msg: 2, Multicast: true},
+		// Spans two buckets: [10,40) = 15 cycles in bucket 0, 15 in bucket 1.
+		{Kind: KindReleased, Time: 40, Channel: 0, Msg: 1},
+		{Kind: KindEjected, Time: 40, Msg: 1, Latency: 35},
+		{Kind: KindQueue, Time: 60, Channel: 0, Occupancy: 1},
+		{Kind: KindEjected, Time: 80, Msg: 2, Multicast: true, Latency: 50},
+		// Granted and never released: clamped at end, [90,100) in bucket 3.
+		{Kind: KindGranted, Time: 90, Channel: 1, Msg: 3},
+	}
+	s := Aggregate(recs, 2, 4, 100)
+	if s.BucketWidth != 25 || s.Buckets != 4 || s.Channels != 2 || s.Reps != 1 {
+		t.Fatalf("shape = %+v", s)
+	}
+	wantInj := []int64{1, 1, 0, 0}
+	wantEj := []int64{0, 1, 0, 1}
+	for b := 0; b < 4; b++ {
+		if s.Injected[b] != wantInj[b] || s.Ejected[b] != wantEj[b] {
+			t.Errorf("bucket %d: injected %d ejected %d, want %d %d",
+				b, s.Injected[b], s.Ejected[b], wantInj[b], wantEj[b])
+		}
+	}
+	if s.LatencySum[1] != 35 || s.LatencyCount[1] != 1 {
+		t.Errorf("unicast latency bucket 1 = %v/%d, want 35/1", s.LatencySum[1], s.LatencyCount[1])
+	}
+	if s.MulticastLatencySum[3] != 50 || s.MulticastLatencyCount[3] != 1 {
+		t.Errorf("multicast latency bucket 3 = %v/%d, want 50/1", s.MulticastLatencySum[3], s.MulticastLatencyCount[3])
+	}
+	// Channel 0 held [10,40): 15/25 of bucket 0, 15/25 of bucket 1.
+	if got := s.ChannelUtil[0]; math.Abs(got[0]-0.6) > 1e-12 || math.Abs(got[1]-0.6) > 1e-12 || got[2] != 0 || got[3] != 0 {
+		t.Errorf("channel 0 util = %v, want [0.6 0.6 0 0]", got)
+	}
+	// Channel 1's open hold [90,100) clamps at end: 10/25 of bucket 3.
+	if got := s.ChannelUtil[1]; got[3] != 0.4 || got[0] != 0 {
+		t.Errorf("channel 1 util = %v, want 0.4 in bucket 3 only", got)
+	}
+	if s.QueueMax[0] != 3 || s.QueueMax[2] != 1 {
+		t.Errorf("queue max = %v, want 3 in bucket 0, 1 in bucket 2", s.QueueMax)
+	}
+}
+
+// TestAggregateFiniteJSON pins the no-NaN property: even a record-free
+// aggregation produces only finite values (sums and counts, no means).
+func TestAggregateFiniteJSON(t *testing.T) {
+	s := Aggregate(nil, 3, 5, 0)
+	check := func(name string, xs []float64) {
+		for b, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("%s[%d] = %v, want finite", name, b, x)
+			}
+		}
+	}
+	check("latency_sum", s.LatencySum)
+	check("mc_latency_sum", s.MulticastLatencySum)
+	for ch := range s.ChannelUtil {
+		check("channel_util", s.ChannelUtil[ch])
+	}
+	if math.IsNaN(s.BucketWidth) || math.IsInf(s.BucketWidth, 0) || s.BucketWidth <= 0 {
+		t.Errorf("bucket width = %v", s.BucketWidth)
+	}
+}
+
+// TestCombine pins the replication fold: counts add, utilizations
+// average weighted by Reps, queue maxima take the worst replication,
+// and the fold is order-independent in its totals.
+func TestCombine(t *testing.T) {
+	a := Aggregate([]Record{
+		{Kind: KindInjected, Time: 1},
+		{Kind: KindGranted, Time: 0, Channel: 0},
+		{Kind: KindReleased, Time: 10, Channel: 0},
+		{Kind: KindQueue, Time: 1, Occupancy: 2},
+	}, 1, 2, 10)
+	b := Aggregate([]Record{
+		{Kind: KindInjected, Time: 6},
+		{Kind: KindGranted, Time: 5, Channel: 0},
+		{Kind: KindReleased, Time: 10, Channel: 0},
+		{Kind: KindQueue, Time: 6, Occupancy: 7},
+	}, 1, 2, 10)
+	out := Combine([]*Series{a, b})
+	if out.Reps != 2 {
+		t.Fatalf("reps = %d, want 2", out.Reps)
+	}
+	if out.Injected[0] != 1 || out.Injected[1] != 1 {
+		t.Errorf("injected = %v, want one per bucket", out.Injected)
+	}
+	// a holds channel 0 for all of both buckets (util 1,1); b for the
+	// second only (0,1). Averaged: 0.5, 1.
+	if u := out.ChannelUtil[0]; math.Abs(u[0]-0.5) > 1e-12 || math.Abs(u[1]-1) > 1e-12 {
+		t.Errorf("combined util = %v, want [0.5 1]", u)
+	}
+	if out.QueueMax[0] != 2 || out.QueueMax[1] != 7 {
+		t.Errorf("combined queue max = %v, want [2 7]", out.QueueMax)
+	}
+
+	if got := Combine(nil); got != nil {
+		t.Errorf("Combine(nil) = %v, want nil", got)
+	}
+	if got := Combine([]*Series{a}); got != a {
+		t.Error("Combine of one series should return it unchanged")
+	}
+}

@@ -51,12 +51,15 @@ type Traffic interface {
 	Next(node topology.NodeID) ([]routing.Branch, bool)
 }
 
-// Observer is an optional Traffic extension: when the traffic source also
-// implements it, the network calls Injected once per message it actually
-// injects, with the simulated injection time. Draws that never materialize
-// (the horizon or a saturation stop intervened) get no call, so observers
-// see ground truth rather than the RNG stream — the workload trace
-// recorder uses this to stamp absolute injection times into its records.
+// Observer is the legacy injection-observation interface: Injected is
+// called once per message the network actually injects, with the
+// simulated injection time. Draws that never materialize (the horizon
+// or a saturation stop intervened) get no call, so observers see ground
+// truth rather than the RNG stream — the workload trace recorder uses
+// this to stamp absolute injection times into its records. It is now a
+// thin adapter over the hook API: wrap with ObserverHook and register
+// with Network.Attach at HookWormInjected. (The network no longer
+// resolves it implicitly out of the traffic source.)
 type Observer interface {
 	Injected(node topology.NodeID, t float64, multicast bool)
 }
@@ -200,9 +203,11 @@ const (
 type Network struct {
 	g       *topology.Graph
 	traffic Traffic
-	// obs is traffic's Observer extension, resolved once at New/Reset so
-	// the generate path pays a nil check instead of a type assertion.
-	obs             Observer
+	// hooks holds the attached hooks per position (flat slices, fired in
+	// attach order) and hookMask caches which positions have any — the
+	// hot path pays one uint8 test per site when nothing is attached.
+	hooks           [numHookPos][]Hook
+	hookMask        uint8
 	cfg             Config
 	eng             *sim.Engine
 	channels        []channel
@@ -344,7 +349,6 @@ func New(g *topology.Graph, traffic Traffic, cfg Config) (*Network, error) {
 		eng:      sim.New(),
 		channels: make([]channel, g.NumChannels()),
 	}
-	nw.obs, _ = traffic.(Observer)
 	nw.eng.SetHandler(nw)
 	// Seed the scheduler geometry with the workload's shape — a few
 	// events in flight per node, scheduled up to a few message-drain
@@ -359,13 +363,15 @@ func New(g *topology.Graph, traffic Traffic, cfg Config) (*Network, error) {
 // engine's event heap, the channel array, the per-channel wait queues and
 // the worm/message pools. A Reset network runs bitwise-identically to a
 // freshly constructed one, so one Network can serve every point of a
-// sweep without reallocating its hot-path state.
+// sweep without reallocating its hot-path state. Like a fresh network it
+// starts with no hooks attached — re-Attach after Reset to keep
+// observing.
 func (nw *Network) Reset(traffic Traffic, cfg Config) error {
 	if err := checkConfig(&cfg); err != nil {
 		return err
 	}
 	nw.traffic = traffic
-	nw.obs, _ = traffic.(Observer)
+	nw.detachHooks()
 	nw.cfg = cfg
 	nw.eng.Reset()
 	for i := range nw.channels {
@@ -542,8 +548,8 @@ func (nw *Network) generate(node topology.NodeID, t float64) {
 		nw.pendingMeasured++
 	}
 	nw.trace(msg, -1, TraceGenerate, topology.None, t)
-	if nw.obs != nil {
-		nw.obs.Injected(node, t, multicast)
+	if nw.hookMask&(1<<HookWormInjected) != 0 {
+		nw.fire(HookCtx{Pos: HookWormInjected, Time: t, Node: node, Channel: topology.None, Msg: msg.id, Multicast: multicast})
 	}
 	for i := range branches {
 		nw.request(nw.getWorm(msg, i, branches[i].Path), t)
@@ -565,7 +571,7 @@ func (nw *Network) request(w *worm, t float64) {
 			// The holder's tail logically vacated this channel at
 			// spanRelease; the release was deferred because nobody needed
 			// the channel until now. Apply it, then grant.
-			nw.releaseSpanned(c)
+			nw.releaseSpanned(id, c)
 			nw.grant(w, id, t)
 			return
 		}
@@ -576,6 +582,9 @@ func (nw *Network) request(w *worm, t float64) {
 	}
 	nw.trace(w.msg, w.branch, TraceBlocked, id, t)
 	c.queue = append(c.queue, w)
+	if nw.hookMask&(1<<HookQueueChanged) != 0 {
+		nw.fire(HookCtx{Pos: HookQueueChanged, Time: t, Node: -1, Channel: id, Msg: w.msg.id, Multicast: w.msg.multicast, Occupancy: len(c.queue)})
+	}
 	if nw.g.Channel(id).Kind == topology.Injection && len(c.queue) > nw.cfg.SatQueue {
 		nw.res.Saturated = true
 		nw.stopped = true
@@ -610,6 +619,9 @@ func (nw *Network) grant(w *worm, id topology.ChannelID, t float64) {
 		c.grants++
 	}
 	nw.trace(w.msg, w.branch, TraceGrant, id, t)
+	if nw.hookMask&(1<<HookChannelGranted) != 0 {
+		nw.fire(HookCtx{Pos: HookChannelGranted, Time: t, Node: -1, Channel: id, Msg: w.msg.id, Multicast: w.msg.multicast})
+	}
 	j := w.hop // index of the channel just granted
 	w.hop++
 	msgLen := nw.cfg.MsgLen
@@ -694,10 +706,16 @@ func (nw *Network) spanStart(w *worm, lo int, te float64) {
 // event instead.
 //
 //quarc:hotpath
-func (nw *Network) releaseSpanned(c *channel) {
+func (nw *Network) releaseSpanned(id topology.ChannelID, c *channel) {
 	h := c.holder
 	if nw.measuring {
 		c.busy += nw.busySpan(c.grantTime, c.spanRelease)
+	}
+	if nw.hookMask&(1<<HookChannelReleased) != 0 {
+		// Time is the logical release time the fine-grained simulator
+		// would have fired at, not the (later) moment the deferred
+		// release is applied.
+		nw.fire(HookCtx{Pos: HookChannelReleased, Time: c.spanRelease, Node: -1, Channel: id, Msg: h.msg.id, Multicast: h.msg.multicast})
 	}
 	c.holder = nil
 	h.held--
@@ -723,7 +741,7 @@ func (nw *Network) spanDone(w *worm, t float64) {
 			// still pending at exactly t and must do the arbitration.
 			continue
 		}
-		nw.releaseSpanned(c)
+		nw.releaseSpanned(w.path[i], c)
 	}
 	w.spanning = false
 	nw.trace(w.msg, w.branch, TraceComplete, topology.None, t)
@@ -746,7 +764,7 @@ func (nw *Network) flushSpans(t float64) {
 		c := &nw.channels[i]
 		h := c.holder
 		if h != nil && h.spanning && len(c.queue) == 0 && c.spanRelease < t {
-			nw.releaseSpanned(c)
+			nw.releaseSpanned(topology.ChannelID(i), c)
 		}
 	}
 }
@@ -760,6 +778,9 @@ func (nw *Network) release(id topology.ChannelID, t float64) {
 	}
 	if nw.measuring {
 		c.busy += nw.busySpan(c.grantTime, t)
+	}
+	if nw.hookMask&(1<<HookChannelReleased) != 0 {
+		nw.fire(HookCtx{Pos: HookChannelReleased, Time: t, Node: -1, Channel: id, Msg: h.msg.id, Multicast: h.msg.multicast})
 	}
 	c.holder = nil
 	h.held--
@@ -782,6 +803,9 @@ func (nw *Network) release(id topology.ChannelID, t float64) {
 		w := c.queue[next]
 		copy(c.queue[next:], c.queue[next+1:])
 		c.queue = c.queue[:len(c.queue)-1]
+		if nw.hookMask&(1<<HookQueueChanged) != 0 {
+			nw.fire(HookCtx{Pos: HookQueueChanged, Time: t, Node: -1, Channel: id, Msg: w.msg.id, Multicast: w.msg.multicast, Occupancy: len(c.queue)})
+		}
 		nw.grant(w, id, t)
 	}
 }
@@ -794,6 +818,9 @@ func (nw *Network) complete(msg *message, t float64) {
 	}
 	if msg.pending > 0 {
 		return
+	}
+	if nw.hookMask&(1<<HookWormEjected) != 0 {
+		nw.fire(HookCtx{Pos: HookWormEjected, Time: t, Node: -1, Channel: topology.None, Msg: msg.id, Multicast: msg.multicast, Latency: msg.lastDone - msg.gen})
 	}
 	if nw.measuring && msg.measured {
 		nw.res.Completed++

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"quarc/internal/obs"
 	"quarc/internal/routing"
 	"quarc/internal/sim"
 	"quarc/internal/topology"
@@ -59,6 +60,8 @@ func Suite() []Case {
 		{Name: "SweepScaling", Run: benchSweepScaling},
 		{Name: "NetworkRun/onoff", Run: benchNetworkRunOnOff},
 		{Name: "Replay", Run: benchReplay},
+		{Name: "NetworkRun/noop-hook", Run: benchNetworkRunNoopHook},
+		{Name: "NetworkRun/metrics", Run: benchNetworkRunMetrics},
 	}
 }
 
@@ -264,6 +267,82 @@ func benchReplay(b *testing.B) {
 	}
 	b.StopTimer()
 	reportEventRate(b, events)
+}
+
+// noopHook subscribes to every position and does nothing: the pure
+// dispatch overhead of an enabled hook layer.
+type noopHook struct{}
+
+func (noopHook) Func(wormhole.HookCtx) {}
+
+// benchNetworkRunNoopHook is the reuse path with a no-op hook attached
+// at every position — the marginal cost of hook dispatch itself,
+// against NetworkRun/reuse as the hooks-disabled baseline.
+func benchNetworkRunNoopHook(b *testing.B) {
+	rt, spec, cfg := benchSetup(b)
+	w, err := traffic.NewWorkload(rt, spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := wormhole.New(rt.Graph(), w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Reset(spec, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := nw.Reset(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+		nw.Attach(noopHook{})
+		events += nw.Run().Events
+	}
+	b.StopTimer()
+	reportEventRate(b, events)
+}
+
+// benchNetworkRunMetrics is the reuse path under full metrics
+// recording: a batched collector draining every position into an
+// in-memory sink — the whole observability pipeline's per-run cost.
+func benchNetworkRunMetrics(b *testing.B) {
+	rt, spec, cfg := benchSetup(b)
+	w, err := traffic.NewWorkload(rt, spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := wormhole.New(rt.Graph(), w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events uint64
+	var records int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Reset(spec, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := nw.Reset(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+		sink := obs.NewMemorySink()
+		coll := obs.NewCollector(sink, 0)
+		nw.Attach(coll)
+		events += nw.Run().Events
+		if err := coll.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		records += int64(sink.Len())
+	}
+	b.StopTimer()
+	reportEventRate(b, events)
+	if b.N > 0 {
+		b.ReportMetric(float64(records)/float64(b.N), "records/op")
+	}
 }
 
 func reportEventRate(b *testing.B, events uint64) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"quarc/internal/core"
+	"quarc/internal/obs"
 	"quarc/internal/routing"
 	"quarc/internal/topology"
 	"quarc/internal/traffic"
@@ -191,6 +192,10 @@ func simulate(s *Scenario, pool *networkPool, seed uint64) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		// The recorder stamps absolute injection times through the hook
+		// API (the explicit registration that replaced the implicit
+		// traffic.(Observer) resolution).
+		nw.Attach(wormhole.ObserverHook(recorder), wormhole.HookWormInjected)
 	case pool != nil && pool.nw != nil && pool.rt == s.router:
 		if err := pool.wl.Reset(s.trafficSpec(), seed); err != nil {
 			return Result{}, err
@@ -211,6 +216,23 @@ func simulate(s *Scenario, pool *networkPool, seed uint64) (Result, error) {
 		if pool != nil {
 			pool.nw, pool.wl, pool.rt = nw, w, s.router
 		}
+	}
+	// Metrics recording: a batched collector drains every hook position
+	// into an in-memory sink (teed into the scenario's extra sink, if
+	// any), aggregated into Result.Series after the run. A pure
+	// recording attachment — the Result is bitwise-identical to an
+	// unhooked run, and a pooled network drops its hooks on Reset, so
+	// reuse stays clean.
+	var metricsSink *obs.MemorySink
+	var metricsColl *obs.Collector
+	if s.cfg.metricsBuckets > 0 {
+		metricsSink = obs.NewMemorySink()
+		sink := obs.Sink(metricsSink)
+		if s.cfg.metricsSink != nil {
+			sink = obs.Tee(metricsSink, s.cfg.metricsSink)
+		}
+		metricsColl = obs.NewCollector(sink, 0)
+		nw.Attach(metricsColl)
 	}
 	r := nw.Run()
 	if recorder != nil {
@@ -241,6 +263,13 @@ func simulate(s *Scenario, pool *networkPool, seed uint64) (Result, error) {
 	}
 	if len(r.Trace) > 0 {
 		res.TraceText = wormhole.FormatTrace(s.router.Graph(), r.Trace)
+	}
+	if metricsColl != nil {
+		if err := metricsColl.Flush(); err != nil {
+			return Result{}, fmt.Errorf("noc: metrics sink: %w", err)
+		}
+		res.Series = obs.Aggregate(metricsSink.Records(),
+			s.router.Graph().NumChannels(), s.cfg.metricsBuckets, r.Time)
 	}
 	return res, nil
 }

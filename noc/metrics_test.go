@@ -1,0 +1,131 @@
+package noc
+
+import (
+	"encoding/json"
+	"testing"
+
+	"quarc/internal/obs"
+)
+
+// TestMetricsDoNotPerturbResult is the differential pin behind the
+// whole observability pipeline: attaching the recording hook must not
+// change the simulation by one bit. The hook fires on the same event
+// stream the statistics are folded from, so any divergence means the
+// instrumentation has leaked into the schedule.
+func TestMetricsDoNotPerturbResult(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"quarc-16", []Option{
+			Quarc(16), MsgLen(32), Rate(0.003), Alpha(0.05),
+			LocalizedDests(PortL, 4), Seed(11), Warmup(1000), Measure(8000),
+		}},
+		{"mesh-4x4", []Option{
+			Mesh(4, 4), MsgLen(16), Rate(0.004),
+			Seed(11), Warmup(1000), Measure(8000),
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			plain, err := NewScenario(c.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bare, err := Simulator{}.Evaluate(plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			hooked, err := NewScenario(append(c.opts[:len(c.opts):len(c.opts)], Metrics(50))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, err := Simulator{}.Evaluate(hooked)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Series == nil {
+				t.Fatal("metrics evaluation produced no series")
+			}
+			if rec.Series.Buckets != 50 {
+				t.Errorf("series buckets = %d, want 50", rec.Series.Buckets)
+			}
+			var busy float64
+			for _, util := range rec.Series.ChannelUtil {
+				for _, u := range util {
+					busy += u
+				}
+			}
+			if busy == 0 {
+				t.Error("series shows no channel activity at all")
+			}
+
+			// Strip the series: everything else must be bitwise-identical
+			// to the unhooked run.
+			rec.Series = nil
+			got, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := json.Marshal(bare)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("recording perturbed the result:\n hooked: %s\n bare:   %s", got, want)
+			}
+		})
+	}
+}
+
+// TestMetricsParallelismDeterministic pins two contracts at once: the
+// combined series is bitwise-identical for every Parallelism(k) (the
+// per-replication series fold in replication order), and a shared
+// MetricsSink is safe under concurrent replications (run under -race
+// in CI).
+func TestMetricsParallelismDeterministic(t *testing.T) {
+	base := []Option{
+		Quarc(16), MsgLen(16), Rate(0.002), Alpha(0.05),
+		LocalizedDests(PortL, 4), Seed(3), Warmup(500), Measure(4000),
+		Metrics(25), Replications(4),
+	}
+	run := func(k int, sink Sink) Result {
+		t.Helper()
+		opts := append(base[:len(base):len(base)], Parallelism(k))
+		if sink != nil {
+			opts = append(opts, MetricsSink(sink))
+		}
+		s, err := NewScenario(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulator{}.Evaluate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	serial := run(1, nil)
+	if serial.Series == nil || serial.Series.Reps != 4 {
+		t.Fatalf("serial series = %+v, want 4 combined replications", serial.Series)
+	}
+	sink := obs.NewMemorySink()
+	parallel := run(4, sink)
+
+	got, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("Parallelism(4) result differs from Parallelism(1):\n %s\n %s", got, want)
+	}
+	if sink.Len() == 0 {
+		t.Error("shared sink saw no records")
+	}
+}

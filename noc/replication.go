@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"quarc/internal/obs"
 	"quarc/internal/stats"
 )
 
@@ -126,5 +127,17 @@ func aggregateReplications(results []Result) Result {
 	agg.MulticastCI = mc.HalfWidth(1.96)
 	agg.DetailSummary = results[0].DetailSummary
 	agg.TraceText = results[0].TraceText
+	if results[0].Series != nil {
+		// Combine per-replication series in replication order (each
+		// replication records into its own collector, so the combined
+		// series is also independent of Parallelism scheduling).
+		series := make([]*TimeSeries, 0, len(results))
+		for _, r := range results {
+			if r.Series != nil {
+				series = append(series, r.Series)
+			}
+		}
+		agg.Series = obs.Combine(series)
+	}
 	return agg
 }

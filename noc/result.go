@@ -57,6 +57,9 @@ type Result struct {
 	// TraceText holds the formatted event trace; empty unless Trace was
 	// enabled.
 	TraceText string
+	// Series holds the recorded time series; nil unless Metrics was
+	// enabled (simulator only).
+	Series *TimeSeries
 }
 
 // jsonResult mirrors Result with JSON-safe numbers: NaN and Inf have no
@@ -82,6 +85,7 @@ type jsonResult struct {
 	MaxUtil       float64      `json:"max_util,omitempty"`
 	DetailSummary string       `json:"detail,omitempty"`
 	TraceText     string       `json:"trace,omitempty"`
+	Series        *TimeSeries  `json:"series,omitempty"`
 }
 
 func jsonNum(x float64) *float64 {
@@ -121,6 +125,7 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		MaxUtil:       r.MaxUtil,
 		DetailSummary: r.DetailSummary,
 		TraceText:     r.TraceText,
+		Series:        r.Series,
 	})
 }
 
@@ -152,6 +157,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		MaxUtil:       jr.MaxUtil,
 		DetailSummary: jr.DetailSummary,
 		TraceText:     jr.TraceText,
+		Series:        jr.Series,
 	}
 	return nil
 }

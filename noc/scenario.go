@@ -7,6 +7,7 @@ import (
 	"slices"
 	"strings"
 
+	"quarc/internal/obs"
 	"quarc/internal/routing"
 	"quarc/internal/topology"
 	"quarc/internal/traffic"
@@ -96,6 +97,12 @@ type config struct {
 	traceLimit   int
 	replications int
 	parallelism  int
+
+	// observability knobs: metricsBuckets > 0 turns the hook recorder on
+	// and sizes Result.Series; metricsSink optionally tees the raw record
+	// stream into a caller-supplied sink (e.g. an obs.FileSink).
+	metricsBuckets int
+	metricsSink    obs.Sink
 }
 
 // Option mutates a scenario configuration. Options are applied in order;
@@ -397,6 +404,45 @@ func Trace(node, limit int) Option {
 	}
 }
 
+// DefaultMetricsBuckets is the Series resolution Metrics selects when
+// the caller does not size it explicitly (via the Spec codec's
+// canonical form, which materializes the default).
+const DefaultMetricsBuckets = 100
+
+// MaxMetricsBuckets bounds the Series resolution a scenario accepts.
+const MaxMetricsBuckets = 4096
+
+// Metrics enables the observability recorder: the simulator attaches a
+// batched recording hook at every hook position and aggregates the
+// records into Result.Series — per-channel utilization, injection/
+// ejection counts, per-worm latency and queue-occupancy series over
+// buckets equal time buckets of the run. Recording is purely
+// observational: the Result's measurements are bitwise-identical to a
+// run without it. The analytical model ignores this option (its result
+// has no time axis). Buckets in [1, MaxMetricsBuckets].
+func Metrics(buckets int) Option {
+	return func(cfg *config) error {
+		if buckets < 1 || buckets > MaxMetricsBuckets {
+			return fmt.Errorf("%w: metrics buckets %d outside [1, %d]", ErrInvalidOption, buckets, MaxMetricsBuckets)
+		}
+		cfg.metricsBuckets = buckets
+		return nil
+	}
+}
+
+// MetricsSink additionally streams the raw observability records into
+// s while Metrics is enabled — e.g. an obs WAL file sink for offline
+// inspection (quarcsim -obs). The sink must be safe for concurrent
+// Append when the scenario runs Replications(n > 1): every replication
+// shares it. Not part of the declarative Spec surface (sinks are
+// process-local, like trace record/replay targets).
+func MetricsSink(s Sink) Option {
+	return func(cfg *config) error {
+		cfg.metricsSink = s
+		return nil
+	}
+}
+
 // Replications sets the number of independent seeded replications the
 // simulator runs per evaluation (default 1). Each replication r derives
 // its seed deterministically from the scenario seed (replication 0 uses
@@ -615,6 +661,9 @@ func (s *Scenario) validate() error {
 		if s.cfg.traceLimit < 0 {
 			return fmt.Errorf("%w: trace limit %d < 0", ErrInvalidOption, s.cfg.traceLimit)
 		}
+	}
+	if s.cfg.metricsSink != nil && s.cfg.metricsBuckets == 0 {
+		return fmt.Errorf("%w: MetricsSink without Metrics(buckets) would record nothing", ErrOptionConflict)
 	}
 	if s.cfg.record != nil && s.cfg.replay != nil {
 		return fmt.Errorf("%w: a scenario cannot both record and replay a trace", ErrOptionConflict)

@@ -50,3 +50,13 @@ func (c *lruCache[V]) add(key string, val V) int {
 }
 
 func (c *lruCache[V]) len() int { return c.ll.Len() }
+
+// keys lists the cached keys, most recently used first. The caller
+// holds the Evaluator's mutex.
+func (c *lruCache[V]) keys() []string {
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry[V]).key)
+	}
+	return out
+}

@@ -110,7 +110,19 @@ type Dispatcher struct {
 	hedgeWins    atomic.Uint64
 	fallbacks    atomic.Uint64
 	breakerOpens atomic.Uint64
+
+	// Trace routing: which peer computed which fingerprint, so a
+	// /v1/trace query lands on the box whose cache actually holds the
+	// series. Bounded FIFO; a forgotten (or wrong) route only costs a
+	// fallback to local lookup.
+	traceMu    sync.Mutex
+	tracePeers map[uint64]*peer
+	traceRing  []uint64
+	traceNext  int
 }
+
+// maxTraceRoutes bounds the fingerprint-to-peer trace routing table.
+const maxTraceRoutes = 4096
 
 // New builds a Dispatcher. Local is required; an empty peer list is
 // legal and degrades every job to local evaluation.
@@ -221,6 +233,93 @@ func (d *Dispatcher) Sweep(ctx context.Context, sp noc.Spec, rates []float64) ([
 	return results, nil
 }
 
+// Trace serves a /v1/trace query: forwarded to the peer that computed
+// the fingerprint's result (per the trace routing table) when that
+// peer is admissible, answered from the local evaluator's caches
+// otherwise — including when the peer has since forgotten or lost the
+// entry.
+func (d *Dispatcher) Trace(ctx context.Context, fp uint64) (noc.Result, service.Source, error) {
+	if p := d.tracePeer(fp); p != nil && d.admissible(p) {
+		res, err := d.getTrace(ctx, p, fp)
+		if err == nil {
+			d.recordSuccess(p)
+			return res, service.SourceFleet, nil
+		}
+		if ctx.Err() != nil {
+			return noc.Result{}, "", fmt.Errorf("fleet: %w", ctx.Err())
+		}
+		var se *statusError
+		if !errors.As(err, &se) {
+			// The peer answered nothing at all; that counts against its
+			// breaker. An answered error (404 after an eviction, 503 while
+			// draining) does not — the box is alive.
+			d.recordFailure(p)
+		}
+	}
+	return d.local.Trace(ctx, fp)
+}
+
+// getTrace performs one GET /v1/trace call against p, with the same
+// response validation as post.
+func (d *Dispatcher) getTrace(ctx context.Context, p *peer, fp uint64) (noc.Result, error) {
+	cctx, cancel := context.WithTimeout(ctx, d.cfg.RequestTimeout)
+	defer cancel()
+	want := fmt.Sprintf("%016x", fp)
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, p.url+"/v1/trace/"+want, nil)
+	if err != nil {
+		return noc.Result{}, fmt.Errorf("fleet: peer %s: %w", p.url, err)
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return noc.Result{}, fmt.Errorf("fleet: peer %s: %w", p.url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
+	if err != nil {
+		return noc.Result{}, fmt.Errorf("fleet: peer %s: reading response: %w", p.url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, ec := compactError(data)
+		return noc.Result{}, &statusError{url: p.url, code: resp.StatusCode, errCode: ec, body: msg}
+	}
+	if got := resp.Header.Get(service.HeaderFingerprint); got != "" && got != want {
+		return noc.Result{}, fmt.Errorf("fleet: peer %s answered fingerprint %s for trace %s", p.url, got, want)
+	}
+	var res noc.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return noc.Result{}, fmt.Errorf("fleet: peer %s: decoding result: %w", p.url, err)
+	}
+	return res, nil
+}
+
+// rememberTrace records that p computed fp's result, evicting the
+// oldest route past the table bound.
+func (d *Dispatcher) rememberTrace(fp uint64, p *peer) {
+	d.traceMu.Lock()
+	defer d.traceMu.Unlock()
+	if d.tracePeers == nil {
+		d.tracePeers = make(map[uint64]*peer)
+	}
+	if _, ok := d.tracePeers[fp]; !ok {
+		if len(d.traceRing) < maxTraceRoutes {
+			d.traceRing = append(d.traceRing, fp)
+		} else {
+			delete(d.tracePeers, d.traceRing[d.traceNext])
+			d.traceRing[d.traceNext] = fp
+			d.traceNext = (d.traceNext + 1) % maxTraceRoutes
+		}
+	}
+	d.tracePeers[fp] = p
+}
+
+// tracePeer returns the recorded computing peer for fp, nil when
+// unknown.
+func (d *Dispatcher) tracePeer(fp uint64) *peer {
+	d.traceMu.Lock()
+	defer d.traceMu.Unlock()
+	return d.tracePeers[fp]
+}
+
 // Stats delegates to the local evaluator's counters.
 func (d *Dispatcher) Stats() service.Stats { return d.local.Stats() }
 
@@ -329,6 +428,7 @@ func (d *Dispatcher) callHedged(ctx context.Context, primary *peer, sp noc.Spec,
 			outstanding--
 			if o.err == nil {
 				d.recordSuccess(o.peer)
+				d.rememberTrace(sp.Fingerprint(), o.peer)
 				if o.hedged {
 					d.hedgeWins.Add(1)
 				}
@@ -376,7 +476,8 @@ func (d *Dispatcher) post(ctx context.Context, p *peer, sp noc.Spec, body []byte
 		return noc.Result{}, fmt.Errorf("fleet: peer %s: reading response: %w", p.url, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return noc.Result{}, &statusError{url: p.url, code: resp.StatusCode, body: compactError(data)}
+		msg, ec := compactError(data)
+		return noc.Result{}, &statusError{url: p.url, code: resp.StatusCode, errCode: ec, body: msg}
 	}
 	want := fmt.Sprintf("%016x", sp.Fingerprint())
 	if got := resp.Header.Get(service.HeaderFingerprint); got != "" && got != want {
@@ -411,11 +512,14 @@ func (d *Dispatcher) pickPeer(exclude *peer) *peer {
 	return fallback
 }
 
-// statusError is a non-200 peer response.
+// statusError is a non-200 peer response. errCode carries the
+// machine-readable code from the service error envelope when the peer
+// sent one ("" for legacy or non-JSON bodies).
 type statusError struct {
-	url  string
-	code int
-	body string
+	url     string
+	code    int
+	errCode string
+	body    string
 }
 
 func (e *statusError) Error() string {
@@ -425,25 +529,40 @@ func (e *statusError) Error() string {
 	return fmt.Sprintf("fleet: peer %s answered %d: %s", e.url, e.code, e.body)
 }
 
-// isNonRetryable reports whether the peer's answer settles the job: a
-// 4xx means the spec itself is refused, and no peer will say otherwise.
+// isNonRetryable reports whether the peer's answer settles the job.
+// The envelope code is authoritative when present: invalid_spec and
+// not_found are verdicts about the request itself, which every peer
+// will repeat, while draining and queue_saturated are verdicts about
+// that peer only — another one may serve the job, whatever the HTTP
+// status said. Without a code, a 4xx is taken as a refusal of the
+// request (the pre-envelope heuristic).
 func isNonRetryable(err error) bool {
 	var se *statusError
-	return errors.As(err, &se) && se.code >= 400 && se.code < 500
+	if !errors.As(err, &se) {
+		return false
+	}
+	switch se.errCode {
+	case "invalid_spec", "not_found":
+		return true
+	case "":
+		return se.code >= 400 && se.code < 500
+	}
+	return false
 }
 
-// compactError extracts the error message from a peer's JSON error
-// body, falling back to a trimmed raw prefix.
-func compactError(data []byte) string {
+// compactError extracts the message and machine code from a peer's
+// JSON error envelope, falling back to a trimmed raw prefix.
+func compactError(data []byte) (msg, code string) {
 	var eb struct {
 		Error string `json:"error"`
+		Code  string `json:"code"`
 	}
 	if err := json.Unmarshal(data, &eb); err == nil && eb.Error != "" {
-		return eb.Error
+		return eb.Error, eb.Code
 	}
 	s := strings.TrimSpace(string(data))
 	if len(s) > 200 {
 		s = s[:200] + "..."
 	}
-	return s
+	return s, ""
 }

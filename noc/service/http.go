@@ -3,15 +3,24 @@ package service
 import (
 	"bytes"
 	"context"
+	_ "embed"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"quarc/noc"
 )
+
+// dashboardHTML is the static time-series dashboard page served at
+// GET /dashboard: a dependency-free viewer that fetches /v1/trace/{fp}
+// and plots the series with inline SVG.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
 
 // maxRequestBody bounds one request document. Specs are small; a larger
 // body is hostile or a client bug.
@@ -36,6 +45,11 @@ type Backend interface {
 	Evaluate(ctx context.Context, sp noc.Spec) (noc.Result, Source, error)
 	// Sweep evaluates the spec across a rate grid; see Evaluator.Sweep.
 	Sweep(ctx context.Context, sp noc.Spec, rates []float64) ([]noc.Result, error)
+	// Trace serves the Result (with its recorded time series) of a
+	// previous evaluation by content address; see Evaluator.Trace. A
+	// fleet dispatcher forwards the query to the peer that computed the
+	// point before falling back to its local evaluator.
+	Trace(ctx context.Context, fp uint64) (noc.Result, Source, error)
 	// Stats snapshots the serving counters.
 	Stats() Stats
 	// Healthz reports current serviceability.
@@ -111,17 +125,65 @@ type Health struct {
 	Peers         []PeerHealth `json:"peers,omitempty"`
 }
 
-// errorBody is every non-2xx response body.
+// Machine-readable error codes, carried in every non-2xx response so
+// clients (the fleet dispatcher above all) classify failures without
+// parsing English. The human-readable message may change freely; the
+// code set is API.
+const (
+	// CodeInvalidSpec marks client mistakes: malformed documents,
+	// out-of-range fields, unservable option combinations. Never retry.
+	CodeInvalidSpec = "invalid_spec"
+	// CodeDraining marks a server in graceful shutdown. Retry elsewhere.
+	CodeDraining = "draining"
+	// CodeQueueSaturated marks an overloaded job queue. Retry elsewhere
+	// after backoff.
+	CodeQueueSaturated = "queue_saturated"
+	// CodeNotFound marks a trace query no evaluation answers to.
+	CodeNotFound = "not_found"
+	// CodeCanceled and CodeTimeout mark a dead client context and an
+	// expired server deadline respectively.
+	CodeCanceled = "canceled"
+	CodeTimeout  = "timeout"
+	// CodeInternal is everything else.
+	CodeInternal = "internal"
+)
+
+// errorBody is every non-2xx response body: a human-readable message
+// plus the machine-readable code.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// errorCode classifies an error into the wire code writeError serves.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, noc.ErrInvalidSpec), errors.Is(err, noc.ErrInvalidOption),
+		errors.Is(err, noc.ErrOptionConflict), errors.Is(err, ErrTraceSpec),
+		errors.Is(err, noc.ErrModelInapplicable):
+		return CodeInvalidSpec
+	case errors.Is(err, ErrQueueSaturated):
+		return CodeQueueSaturated
+	case errors.Is(err, ErrClosed):
+		return CodeDraining
+	case errors.Is(err, ErrNotFound):
+		return CodeNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	}
+	return CodeInternal
 }
 
 // NewHandler wraps the backend in the quarcd HTTP API:
 //
-//	POST /v1/evaluate  Spec JSON          -> Result JSON
-//	POST /v1/sweep     {spec, rates}      -> {fingerprint, points}
-//	GET  /v1/registry                     -> registered names
-//	GET  /v1/healthz                      -> status + cache/pool stats
+//	POST /v1/evaluate           Spec JSON     -> Result JSON
+//	POST /v1/sweep              {spec, rates} -> {fingerprint, points}
+//	GET  /v1/trace/{fp}                       -> Result JSON with series
+//	GET  /dashboard                           -> time-series dashboard page
+//	GET  /v1/registry                         -> registered names
+//	GET  /v1/healthz                          -> status + cache/pool stats
 //
 // Evaluate and sweep responses carry X-Quarc-Fingerprint (the content
 // address) and X-Quarc-Source (computed/cache/coalesced/store/fleet).
@@ -194,6 +256,31 @@ func NewHandlerConfig(b Backend, hc HandlerConfig) http.Handler {
 		w.Header().Set(HeaderFingerprint, resp.Fingerprint)
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("GET /v1/trace/{fingerprint}", func(w http.ResponseWriter, r *http.Request) {
+		fp, err := strconv.ParseUint(r.PathValue("fingerprint"), 16, 64)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: fingerprint must be the 16-digit hex content address: %w", noc.ErrInvalidSpec, err))
+			return
+		}
+		ctx, cancel := hc.requestCtx(r)
+		defer cancel()
+		res, src, err := b.Trace(ctx, fp)
+		if err != nil {
+			writeRequestError(w, r, ctx, err)
+			return
+		}
+		w.Header().Set(HeaderFingerprint, fmt.Sprintf("%016x", fp))
+		w.Header().Set(HeaderSource, string(src))
+		// The body is the full Result — the same document /v1/evaluate
+		// served for this spec, series included — so offline recorder
+		// output diffs against it bitwise.
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /dashboard", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(dashboardHTML)
+	})
 	mux.HandleFunc("GET /v1/registry", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, Registry{
 			Topologies: noc.Topologies(),
@@ -257,28 +344,30 @@ func decodeSpec(w http.ResponseWriter, r *http.Request) (noc.Spec, bool) {
 func writeRequestError(w http.ResponseWriter, r *http.Request, ctx context.Context, err error) {
 	if errors.Is(err, context.DeadlineExceeded) &&
 		errors.Is(ctx.Err(), context.DeadlineExceeded) && r.Context().Err() == nil {
-		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error(), Code: CodeTimeout})
 		return
 	}
 	writeError(w, err)
 }
 
-// writeError maps service/spec errors onto HTTP statuses: client
-// mistakes are 400s, a closing server is 503, cancellations map to the
+// writeError maps service/spec errors onto HTTP statuses and wire
+// codes: client mistakes are 400s, an unknown fingerprint is 404, a
+// closing or overloaded server is 503, cancellations map to the
 // client-gone 499 convention, anything else is a 500.
 func writeError(w http.ResponseWriter, err error) {
+	code := errorCode(err)
 	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, noc.ErrInvalidSpec), errors.Is(err, noc.ErrInvalidOption),
-		errors.Is(err, noc.ErrOptionConflict), errors.Is(err, ErrTraceSpec),
-		errors.Is(err, noc.ErrModelInapplicable):
+	switch code {
+	case CodeInvalidSpec:
 		status = http.StatusBadRequest
-	case errors.Is(err, ErrClosed):
+	case CodeNotFound:
+		status = http.StatusNotFound
+	case CodeDraining, CodeQueueSaturated:
 		status = http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case CodeCanceled, CodeTimeout:
 		status = 499 // client closed request (nginx convention)
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -16,6 +16,7 @@ import (
 // specific health states).
 type fakeBackend struct {
 	eval   func(ctx context.Context, sp noc.Spec) (noc.Result, Source, error)
+	trace  func(ctx context.Context, fp uint64) (noc.Result, Source, error)
 	health HealthState
 	peers  []PeerHealth
 }
@@ -34,6 +35,13 @@ func (f *fakeBackend) Sweep(ctx context.Context, sp noc.Spec, rates []float64) (
 		out[i] = res
 	}
 	return out, nil
+}
+
+func (f *fakeBackend) Trace(ctx context.Context, fp uint64) (noc.Result, Source, error) {
+	if f.trace != nil {
+		return f.trace(ctx, fp)
+	}
+	return noc.Result{}, "", ErrNotFound
 }
 
 func (f *fakeBackend) Stats() Stats             { return Stats{} }

@@ -45,6 +45,13 @@ var (
 	// resolve file paths on the server, which a network-facing service
 	// must not do on a client's behalf.
 	ErrTraceSpec = errors.New("service: trace record/replay specs are not servable")
+	// ErrQueueSaturated reports a submission that timed out while the
+	// job queue was full: the box is overloaded, not broken, so clients
+	// should back off and retry elsewhere.
+	ErrQueueSaturated = errors.New("service: job queue saturated")
+	// ErrNotFound reports a Trace query for a fingerprint no cached,
+	// in-flight or stored evaluation answers to.
+	ErrNotFound = errors.New("service: no result for that fingerprint")
 )
 
 // MaxSweepPoints bounds one sweep request's rate grid, here and in the
@@ -326,8 +333,15 @@ func (e *Evaluator) Evaluate(ctx context.Context, sp noc.Spec) (noc.Result, Sour
 	select {
 	case e.jobs <- job{key: key, sp: sp, f: f, persist: true}:
 	case <-ctx.Done():
-		e.resolve(job{key: key, f: f}, noc.Result{}, ctx.Err())
-		return noc.Result{}, "", ctx.Err()
+		err := ctx.Err()
+		if cap(e.jobs) > 0 && len(e.jobs) >= cap(e.jobs) {
+			// The context expired while the pending buffer was full: the
+			// request died of overload, not of its own deadline, and the
+			// typed error lets clients (and fleet peers) retry elsewhere.
+			err = fmt.Errorf("%w (%v)", ErrQueueSaturated, ctx.Err()) //quarclint:ignore errdiscipline the context error must NOT join the chain: overload classifies as queue_saturated, not as the caller's timeout
+		}
+		e.resolve(job{key: key, f: f}, noc.Result{}, err)
+		return noc.Result{}, "", err
 	case <-e.done:
 		e.resolve(job{key: key, f: f}, noc.Result{}, ErrClosed)
 		return noc.Result{}, "", ErrClosed
@@ -370,6 +384,80 @@ func (e *Evaluator) Sweep(ctx context.Context, sp noc.Spec, rates []float64) ([]
 		}
 	}
 	return results, nil
+}
+
+// Trace serves the observability payload of a previous (or in-flight)
+// evaluation by content address: the Result whose spec fingerprint is
+// fp, searched through the LRU cache, the in-flight table (a live
+// evaluation resolves the query when it completes) and the durable
+// store. The fingerprint is derivable from the cache key — it is the
+// FNV-1a hash of the canonical spec encoding, the same address
+// noc.Spec.Fingerprint computes — so no side index is needed; the scan
+// is O(entries) per query, far off the evaluation hot path. A result
+// evaluated without Metrics resolves to ErrNotFound: the daemon never
+// recomputes on a GET.
+func (e *Evaluator) Trace(ctx context.Context, fp uint64) (noc.Result, Source, error) {
+	e.mu.Lock()
+	for _, key := range e.results.keys() {
+		if fingerprintOf(key) != fp {
+			continue
+		}
+		res, _ := e.results.get(key)
+		e.mu.Unlock()
+		return traceResult(res, SourceCache)
+	}
+	var live *flight
+	for key, f := range e.flights {
+		if fingerprintOf(key) == fp {
+			live = f
+			break
+		}
+	}
+	e.mu.Unlock()
+	if live != nil {
+		res, err := e.wait(ctx, live)
+		if err != nil {
+			return noc.Result{}, "", err
+		}
+		return traceResult(res, SourceCoalesced)
+	}
+	if e.cfg.Store != nil {
+		for _, key := range e.cfg.Store.Keys() {
+			if fingerprintOf(key) != fp {
+				continue
+			}
+			if res, ok := e.cfg.Store.Get(key); ok {
+				e.storeHits.Add(1)
+				return traceResult(res, SourceStore)
+			}
+		}
+	}
+	return noc.Result{}, "", fmt.Errorf("%w: %016x has not been evaluated here", ErrNotFound, fp)
+}
+
+// traceResult finishes a Trace lookup: a hit without a recorded series
+// is still ErrNotFound, with a hint at the missing spec field.
+func traceResult(res noc.Result, src Source) (noc.Result, Source, error) {
+	if res.Series == nil {
+		return noc.Result{}, "", fmt.Errorf("%w: the result has no recorded series (evaluate with \"metrics\": true)", ErrNotFound)
+	}
+	return res, src, nil
+}
+
+// fingerprintOf is the FNV-1a content address of a cache key — by
+// construction identical to noc.Spec.Fingerprint() of the spec the key
+// canonically encodes.
+func fingerprintOf(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
 }
 
 // wait blocks until the flight resolves, the caller's context expires or

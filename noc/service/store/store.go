@@ -26,6 +26,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -132,6 +133,20 @@ func (s *Store) Len() int {
 // Quarantined returns how many entries have been quarantined since
 // Open, including those caught during the Open scan itself.
 func (s *Store) Quarantined() uint64 { return s.quarantined.Load() }
+
+// Keys snapshots the live entry keys (canonical spec encodings),
+// sorted. The serving layer's fingerprint lookup scans it to find
+// store-warm entries by content address.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Get returns the stored Result for key. The entry is re-read and
 // re-validated from disk on every call, so corruption that happened

@@ -92,6 +92,14 @@ type Spec struct {
 	Replications      int     `json:"replications,omitempty"`
 	Parallelism       int     `json:"parallelism,omitempty"`
 
+	// Metrics enables time-series recording (the Metrics option):
+	// Result.Series carries MetricsBuckets buckets of per-channel
+	// utilization, injection/ejection counts and latency sums. A zero
+	// MetricsBuckets under Metrics selects DefaultMetricsBuckets. Sinks
+	// (MetricsSink) are process-local and have no Spec form.
+	Metrics        bool `json:"metrics,omitempty"`
+	MetricsBuckets int  `json:"metrics_buckets,omitempty"`
+
 	// Evaluator names the engine a serving layer should run: "simulator"
 	// (the default) or "model". Scenario construction ignores it — the
 	// same Scenario drives either engine — but it is part of the content
@@ -228,6 +236,12 @@ func (sp Spec) Validate() error {
 	if sp.Replications < 0 || sp.Replications > maxSpecReplications {
 		return fail("replications %d outside [0, %d]", sp.Replications, maxSpecReplications)
 	}
+	if sp.MetricsBuckets < 0 || sp.MetricsBuckets > MaxMetricsBuckets {
+		return fail("metrics_buckets %d outside [0, %d]", sp.MetricsBuckets, MaxMetricsBuckets)
+	}
+	if sp.MetricsBuckets != 0 && !sp.Metrics {
+		return fail("metrics_buckets %d without metrics", sp.MetricsBuckets)
+	}
 	switch sp.Evaluator {
 	case "", "simulator", "model":
 	default:
@@ -348,6 +362,13 @@ func (sp Spec) Canonical() Spec {
 		// One replication is bitwise-identical to the plain single-run
 		// path, so the two spellings share a content address.
 		c.Replications = 0
+	}
+	if c.Metrics {
+		if c.MetricsBuckets == 0 {
+			c.MetricsBuckets = DefaultMetricsBuckets
+		}
+	} else {
+		c.MetricsBuckets = 0
 	}
 	c.Parallelism = 0
 	if c.Evaluator == "" {
@@ -498,6 +519,9 @@ func (sp Spec) tuningOptions() []Option {
 	if c.Replications > 1 {
 		opts = append(opts, Replications(c.Replications))
 	}
+	if c.Metrics {
+		opts = append(opts, Metrics(c.MetricsBuckets))
+	}
 	if sp.Parallelism != 0 {
 		// Execution advice survives compilation even though it is not
 		// part of the canonical content.
@@ -598,6 +622,9 @@ func (s *Scenario) Spec() Spec {
 	}
 	if c.traceEnabled {
 		sp.TraceNode, sp.TraceLimit = c.traceNode, c.traceLimit
+	}
+	if c.metricsBuckets > 0 {
+		sp.Metrics, sp.MetricsBuckets = true, c.metricsBuckets
 	}
 	return sp.Canonical()
 }

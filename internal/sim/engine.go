@@ -190,6 +190,28 @@ func (e *Engine) Pending() int {
 	return e.cal.len()
 }
 
+// NextTime returns the time of the earliest pending event without firing
+// it, and false when no events are pending. The heap scheduler reads its
+// root; the calendar queue has no cheap peek, so the engine pops the head
+// and re-files it under its original sequence number — the (time, seq)
+// order is exactly restored, because event order never depends on bucket
+// geometry. The conservative parallel coordinator (internal/sim/par) uses
+// this to compute the global synchronization horizon each round.
+func (e *Engine) NextTime() (float64, bool) {
+	if e.useHeap {
+		if len(e.heap) == 0 {
+			return 0, false
+		}
+		return e.heap[0].t, true
+	}
+	it, ok := e.cal.pop()
+	if !ok {
+		return 0, false
+	}
+	e.cal.push(it, e.now)
+	return it.t, true
+}
+
 // SchedulerName identifies the active pending-event structure ("calendar"
 // or "heap") for logs and benchmark labels.
 func (e *Engine) SchedulerName() string {

@@ -366,3 +366,74 @@ func TestRandomizedOrdering(t *testing.T) {
 		t.Fatalf("fired %d, want %d", e.Fired(), n)
 	}
 }
+
+// TestNextTimePeeks pins the peek contract on both schedulers: NextTime
+// reports the earliest pending time without firing, reordering or
+// losing anything — the calendar's pop-and-refile must be invisible.
+func TestNextTimePeeks(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		make func() *Engine
+	}{{"calendar", New}, {"heap", NewWithHeap}} {
+		t.Run(mk.name, func(t *testing.T) {
+			e := mk.make()
+			if _, ok := e.NextTime(); ok {
+				t.Fatal("empty engine reported a pending time")
+			}
+			var order []int
+			rng := rand.New(rand.NewPCG(1, 2))
+			id := 0
+			for i := 0; i < 200; i++ {
+				tm := rng.Float64() * 100
+				if i%7 == 0 {
+					tm = 50 // same-instant cluster crossing the peek
+				}
+				k := id
+				e.At(tm, func(*Engine) { order = append(order, k) })
+				id++
+				if nt, ok := e.NextTime(); !ok || nt > tm {
+					t.Fatalf("peek %v, ok=%v after scheduling at %v", nt, ok, tm)
+				}
+			}
+			// Interleave peeks with firing: each peek must match the time
+			// the next fired event runs at, and must not advance the clock.
+			reference := mk.make()
+			var want []int
+			rng2 := rand.New(rand.NewPCG(1, 2))
+			id = 0
+			for i := 0; i < 200; i++ {
+				tm := rng2.Float64() * 100
+				if i%7 == 0 {
+					tm = 50
+				}
+				k := id
+				reference.At(tm, func(*Engine) { want = append(want, k) })
+				id++
+			}
+			for {
+				nt, ok := e.NextTime()
+				if !ok {
+					break
+				}
+				if pending := e.Pending(); pending == 0 {
+					t.Fatal("peek reported a time with nothing pending")
+				}
+				before := e.Now()
+				fired := e.Fired()
+				e.Run(nt) // fire exactly the events at the peeked time
+				if e.Fired() == fired {
+					t.Fatalf("nothing fired at peeked time %v (clock was %v)", nt, before)
+				}
+			}
+			reference.RunAll()
+			if len(order) != len(want) {
+				t.Fatalf("peek-interleaved run fired %d events, reference %d", len(order), len(want))
+			}
+			for i := range order {
+				if order[i] != want[i] {
+					t.Fatalf("peek perturbed event order at %d: got %v want %v", i, order[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,240 @@
+// Package par is the conservative parallel coordinator for spatially
+// partitioned discrete-event simulations: P shards, each owning a
+// disjoint slice of the model state and its own sim.Engine, advance in
+// lockstep through globally agreed time windows.
+//
+// # Protocol
+//
+// The coordinator runs a YAWNS-style bounded-lag loop. Each round:
+//
+//  1. after a rendezvous barrier confirming every shard finished the
+//     previous window (so all cross-shard publications are complete),
+//     every shard drains its inbound mailboxes into its local engine,
+//  2. the shards agree — through a sense-reversing barrier — on the
+//     global minimum next-event time M over all local pending sets,
+//  3. every shard executes its local events in the half-open window
+//     [M, M+L), where L is the model's lookahead: the minimum latency
+//     any shard-crossing event is scheduled at. When M+L clears the
+//     phase end, a final inclusive run fires the events at the end
+//     itself (mirroring sim.Engine.Run's inclusive horizon, so a
+//     serial RunBefore/Run phase split is reproduced exactly).
+//
+// Conservatism: an event fired at t < M+L can only schedule remote
+// events at t' >= t+L >= M+L, i.e. outside the current window, so no
+// shard ever executes ahead of an inbound event. Mailboxes are
+// single-writer single-reader slices whose hand-off happens across the
+// barrier, which is also what makes the protocol race-free: all of a
+// round's writes happen-before the next round's reads.
+//
+// This package deliberately knows nothing about wormhole networks — it
+// coordinates anything implementing Shard — and it is the only
+// determinism-adjacent package allowed to spawn goroutines (quarclint
+// exempts internal/sim/par from the no-concurrency rule; the model
+// packages it drives stay goroutine-free).
+package par
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Shard is one partition of a conservatively parallelizable model. All
+// methods are called from the shard's dedicated worker goroutine; the
+// coordinator guarantees Drain never overlaps another shard's Publish
+// of the same mailbox (the barrier separates them).
+type Shard interface {
+	// Drain moves events other shards published for this shard into
+	// the local pending set. Called once per round, before NextTime.
+	Drain()
+	// NextTime returns the earliest local pending-event time, or
+	// ok=false when the shard has nothing scheduled.
+	NextTime() (t float64, ok bool)
+	// Run executes local events with time < bound (inclusive of the
+	// bound itself when incl is set) and advances the local clock to
+	// the bound. Events destined for other shards are published to
+	// their mailboxes, to be Drained next round.
+	Run(bound float64, incl bool)
+	// Aborted reports that the shard hit a model-level stop condition
+	// (e.g. saturation). The coordinator halts the phase at the next
+	// barrier; the caller owns recovery.
+	Aborted() bool
+}
+
+// Barrier is a sense-reversing spin barrier for a fixed party count.
+// The last arriver runs the rendezvous action (if any) before
+// releasing the others, giving the caller a serial section per round
+// without extra synchronization. Waiters yield the processor while
+// spinning, so the barrier is safe (if slower) even at GOMAXPROCS=1.
+type Barrier struct {
+	n     int32
+	count atomic.Int32
+	sense atomic.Uint32
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("par: barrier needs at least one party")
+	}
+	return &Barrier{n: int32(n)}
+}
+
+// Wait blocks until all n parties have arrived. The last arriver runs
+// last (when non-nil) before the release, so its writes happen-before
+// every party's return.
+func (b *Barrier) Wait(last func()) {
+	s := b.sense.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		if last != nil {
+			last()
+		}
+		b.sense.Store(s ^ 1)
+		return
+	}
+	for b.sense.Load() == s {
+		runtime.Gosched()
+	}
+}
+
+// encodeTime maps a float64 time to a uint64 whose unsigned order
+// matches the numeric order for all non-negative finite values and
+// +Inf — simulated time is never negative — so the shards can agree on
+// a minimum with one atomic CAS loop instead of a lock.
+func encodeTime(t float64) uint64 { return math.Float64bits(t) }
+
+func decodeTime(b uint64) float64 { return math.Float64frombits(b) }
+
+// atomicMin folds t into the running minimum at p.
+func atomicMin(p *atomic.Uint64, t float64) {
+	e := encodeTime(t)
+	for {
+		cur := p.Load()
+		if cur <= e || p.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// round decisions, written by the barrier's last arriver and read by
+// every worker after release.
+const (
+	roundWindow = iota // run the half-open window [M, bound)
+	roundFinal         // run to the phase end and stop
+	roundAbort         // a shard aborted: stop immediately
+)
+
+// windowShave is the relative margin each window bound is shrunk by.
+// The model's lookahead guarantee ("a fired event schedules remote
+// events at least L later") holds in real arithmetic, but the model
+// computes those times in floats — e.g. a wormhole span release at
+// te+msgLen-k — and the rounded result can land an ULP or two below
+// the exact te+L, while the exact bound M+L rounds an ULP or two up.
+// Narrower windows are always conservative (events never straddle a
+// drain point they shouldn't), so the bound backs off by a relative
+// 2^-30: many orders of magnitude above any accumulated ULP error of
+// the time computations, many orders below any meaningful event gap.
+const windowShave = 1.0 / (1 << 30)
+
+// Phase drives the shards from their current clocks to end — firing
+// the events at end itself when incl is set, stopping just short of
+// them otherwise (mirroring sim.Engine.Run vs RunBefore, so a serial
+// warmup/measure phase split is reproduced exactly) — with the given
+// lookahead (must be positive: it is what makes a conservative window
+// non-empty). It returns false when any shard aborted, in which case
+// the model state is mid-window and only fit for discarding.
+//
+// Phase may be called repeatedly — each call is one serial-equivalent
+// Run window — with single-threaded access to the shards in between
+// (the goroutines of a phase exit before Phase returns).
+func Phase(shards []Shard, end, lookahead float64, incl bool) bool {
+	if len(shards) == 0 || lookahead <= 0 || math.IsNaN(lookahead) {
+		panic("par: Phase needs shards and a positive lookahead")
+	}
+	if len(shards) == 1 {
+		// Degenerate partition: no windows needed, one phase-end run.
+		sh := shards[0]
+		sh.Drain()
+		sh.Run(end, incl)
+		return !sh.Aborted()
+	}
+	var (
+		b       = NewBarrier(len(shards))
+		minBits atomic.Uint64
+		aborted atomic.Bool
+		kind    int
+		bound   float64
+		wg      sync.WaitGroup
+	)
+	minBits.Store(encodeTime(math.Inf(1)))
+	worker := func(sh Shard) {
+		defer wg.Done()
+		for {
+			// End-of-window rendezvous: no shard may drain (or fold its
+			// next-event time into the minimum) until every shard has
+			// finished the previous window — otherwise late publications
+			// into a mailbox race the drain and escape the minimum,
+			// letting the next window advance past them. The first
+			// iteration passes through trivially.
+			b.Wait(nil)
+			sh.Drain()
+			if t, ok := sh.NextTime(); ok {
+				atomicMin(&minBits, t)
+			}
+			if sh.Aborted() {
+				aborted.Store(true)
+			}
+			b.Wait(func() {
+				m := decodeTime(minBits.Load())
+				minBits.Store(encodeTime(math.Inf(1)))
+				w := m + lookahead
+				w -= w * windowShave // NaN when m is +Inf (all quiescent)
+				switch {
+				case aborted.Load():
+					kind = roundAbort
+				case math.IsInf(m, 1) || w > end:
+					// Every remote event the pending events can still
+					// generate lies beyond end (with the shave margin to
+					// spare): finish the phase in one run.
+					kind = roundFinal
+				default:
+					if w <= m {
+						// Degenerate shave (enormous clock relative to the
+						// lookahead): fall back to minimal progress, still
+						// far below m+lookahead.
+						w = math.Nextafter(m, math.Inf(1))
+					}
+					kind, bound = roundWindow, w
+				}
+			})
+			switch kind {
+			case roundAbort:
+				return
+			case roundFinal:
+				sh.Run(end, incl)
+				// One closing barrier so a saturation stop during the
+				// final window is still observed by the caller.
+				b.Wait(func() {})
+				return
+			default:
+				sh.Run(bound, false)
+			}
+		}
+	}
+	wg.Add(len(shards))
+	for _, sh := range shards {
+		go worker(sh)
+	}
+	wg.Wait()
+	if aborted.Load() {
+		return false
+	}
+	for _, sh := range shards {
+		if sh.Aborted() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,329 @@
+package par
+
+import (
+	"math"
+	"slices"
+	"sync"
+	"testing"
+)
+
+// fakeShard is a minimal conservative model for exercising the
+// coordinator: a bag of local event times, an inbox peers publish into,
+// and an optional "hop" rule that makes each fired event schedule a
+// remote event one lookahead later on the next shard — the smallest
+// model with real cross-shard traffic.
+//
+// The mailbox fields are deliberately unsynchronized: the protocol's
+// claim is that the barrier hand-off alone makes single-writer
+// single-reader mailboxes race-free, and running these tests under
+// -race turns that claim into a checked invariant.
+type fakeShard struct {
+	idx   int
+	peers []*fakeShard
+
+	pending []float64
+	inbox   []float64
+	now     float64
+	fired   []float64
+
+	hop   float64 // publish t+hop to the next peer on each fire (0: none)
+	chain int     // remaining publishes
+
+	abortAt float64 // abort once an event at or past this time fires
+	aborted bool
+
+	stale []float64 // inbound events behind the local clock (conservatism violations)
+}
+
+func newFakes(n int, hop float64, chain int) []*fakeShard {
+	shards := make([]*fakeShard, n)
+	for i := range shards {
+		shards[i] = &fakeShard{idx: i, hop: hop, chain: chain, abortAt: math.Inf(1)}
+	}
+	for _, sh := range shards {
+		sh.peers = shards
+	}
+	return shards
+}
+
+func asShards(fs []*fakeShard) []Shard {
+	out := make([]Shard, len(fs))
+	for i, f := range fs {
+		out[i] = f
+	}
+	return out
+}
+
+func (f *fakeShard) Drain() {
+	for _, t := range f.inbox {
+		if t < f.now {
+			f.stale = append(f.stale, t)
+		}
+		f.pending = append(f.pending, t)
+	}
+	f.inbox = f.inbox[:0]
+}
+
+func (f *fakeShard) NextTime() (float64, bool) {
+	if len(f.pending) == 0 {
+		return 0, false
+	}
+	return slices.Min(f.pending), true
+}
+
+func (f *fakeShard) Run(bound float64, incl bool) {
+	for {
+		t, ok := f.NextTime()
+		if !ok || t > bound || (!incl && t >= bound) {
+			break
+		}
+		f.pending = slices.Delete(f.pending, slices.Index(f.pending, t), slices.Index(f.pending, t)+1)
+		f.fired = append(f.fired, t)
+		if t >= f.abortAt {
+			f.aborted = true
+		}
+		if f.hop > 0 && f.chain > 0 {
+			f.chain--
+			peer := f.peers[(f.idx+1)%len(f.peers)]
+			peer.inbox = append(peer.inbox, t+f.hop)
+		}
+	}
+	f.now = bound
+}
+
+func (f *fakeShard) Aborted() bool { return f.aborted }
+
+// TestPhaseFiresEverything pins liveness plus conservatism: a chain of
+// cross-shard events hopping around the ring at exactly the lookahead —
+// the tightest spacing the protocol admits — all fire, none arrives
+// behind its shard's clock, and each shard's firing order is its time
+// order.
+func TestPhaseFiresEverything(t *testing.T) {
+	for _, n := range []int{2, 3, 8} {
+		const chain = 40
+		fs := newFakes(n, 1, chain)
+		fs[0].pending = []float64{3}
+		const end = 1000 // past the chain's last hop for every n
+		if !Phase(asShards(fs), end, 1, true) {
+			t.Fatalf("n=%d: phase reported an abort", n)
+		}
+		total := 0
+		for _, f := range fs {
+			total += len(f.fired)
+			if len(f.stale) != 0 {
+				t.Errorf("n=%d: shard %d received events behind its clock: %v", n, f.idx, f.stale)
+			}
+			if !slices.IsSorted(f.fired) {
+				t.Errorf("n=%d: shard %d fired out of time order: %v", n, f.idx, f.fired)
+			}
+			if f.now != end {
+				t.Errorf("n=%d: shard %d clock at %v, want the phase end", n, f.idx, f.now)
+			}
+		}
+		if want := chain*n + 1; total != want {
+			t.Errorf("n=%d: %d events fired, want %d (the seed plus every hop)", n, total, want)
+		}
+	}
+}
+
+// TestPhaseEndInclusive pins the end-of-phase semantics: an event
+// exactly at the end fires when incl is set and stays pending when it
+// is not — mirroring sim.Engine.Run vs RunBefore, which is what lets a
+// warmup/measure split replay across Phase calls.
+func TestPhaseEndInclusive(t *testing.T) {
+	for _, incl := range []bool{true, false} {
+		fs := newFakes(2, 0, 0)
+		fs[0].pending = []float64{5, 10}
+		fs[1].pending = []float64{7}
+		if !Phase(asShards(fs), 10, 1, incl) {
+			t.Fatal("phase reported an abort")
+		}
+		firedEnd := slices.Contains(fs[0].fired, 10.0)
+		if firedEnd != incl {
+			t.Errorf("incl=%v: event at the end fired=%v", incl, firedEnd)
+		}
+		if !slices.Contains(fs[0].fired, 5.0) || !slices.Contains(fs[1].fired, 7.0) {
+			t.Errorf("incl=%v: interior events did not fire", incl)
+		}
+	}
+}
+
+// TestPhaseResumes pins the phase-split contract: RunBefore-style phase
+// then Run-style phase over the same shards replays every event exactly
+// once, with the boundary event in the second phase.
+func TestPhaseResumes(t *testing.T) {
+	fs := newFakes(2, 1, 10)
+	fs[0].pending = []float64{1, 50}
+	if !Phase(asShards(fs), 50, 1, false) {
+		t.Fatal("warmup phase aborted")
+	}
+	if slices.Contains(fs[0].fired, 50.0) {
+		t.Fatal("exclusive phase fired its boundary event")
+	}
+	mid := len(fs[0].fired) + len(fs[1].fired)
+	if !Phase(asShards(fs), 80, 1, true) {
+		t.Fatal("measure phase aborted")
+	}
+	if !slices.Contains(fs[0].fired, 50.0) {
+		t.Fatal("second phase did not fire the boundary event")
+	}
+	if total := len(fs[0].fired) + len(fs[1].fired); total <= mid {
+		t.Fatalf("second phase fired nothing (%d then %d)", mid, total)
+	}
+}
+
+// TestPhaseAbort pins the abort path: a shard hitting its stop
+// condition mid-phase makes Phase return false, and no shard runs past
+// the window in which the abort was raised plus one round (the decision
+// is taken at the next barrier).
+func TestPhaseAbort(t *testing.T) {
+	fs := newFakes(4, 1, 1000)
+	fs[0].pending = []float64{1}
+	fs[2].abortAt = 20
+	if Phase(asShards(fs), 1000, 1, true) {
+		t.Fatal("phase with an aborting shard reported success")
+	}
+	for _, f := range fs {
+		for _, ft := range f.fired {
+			if ft > 25 {
+				t.Fatalf("shard %d fired at %v long after the abort at 20", f.idx, ft)
+			}
+		}
+	}
+}
+
+// TestPhaseAbortInFinalRun pins the closing barrier: an abort raised
+// during the final inclusive run — after the last decision — must still
+// reach the caller.
+func TestPhaseAbortInFinalRun(t *testing.T) {
+	fs := newFakes(2, 0, 0)
+	fs[0].pending = []float64{5}
+	fs[0].abortAt = 5
+	if Phase(asShards(fs), 6, 1, true) {
+		t.Fatal("abort during the final run was lost")
+	}
+}
+
+// TestPhaseSingleShard pins the degenerate path: one shard needs no
+// windows, just a drain and one run to the end.
+func TestPhaseSingleShard(t *testing.T) {
+	fs := newFakes(1, 0, 0)
+	fs[0].pending = []float64{1, 2, 3}
+	fs[0].inbox = []float64{2.5}
+	if !Phase(asShards(fs), 10, 1, true) {
+		t.Fatal("single-shard phase aborted")
+	}
+	if len(fs[0].fired) != 4 {
+		t.Fatalf("fired %v, want all four events", fs[0].fired)
+	}
+	fs = newFakes(1, 0, 0)
+	fs[0].pending = []float64{1}
+	fs[0].abortAt = 1
+	if Phase(asShards(fs), 10, 1, true) {
+		t.Fatal("single-shard abort was lost")
+	}
+}
+
+// TestPhaseEmptyShards pins quiescence: shards with nothing pending
+// still advance to the end and return.
+func TestPhaseEmptyShards(t *testing.T) {
+	fs := newFakes(3, 0, 0)
+	if !Phase(asShards(fs), 42, 1, true) {
+		t.Fatal("empty phase aborted")
+	}
+	for _, f := range fs {
+		if f.now != 42 {
+			t.Errorf("shard %d clock at %v, want 42", f.idx, f.now)
+		}
+	}
+}
+
+// TestPhaseShaveProgress pins the windowShave fallback: at clocks so
+// large that the relative shave exceeds the lookahead, windows
+// degenerate and the Nextafter guard must still make progress instead
+// of spinning on an empty window.
+func TestPhaseShaveProgress(t *testing.T) {
+	const base = 1 << 40 // shave at this magnitude is ~1024 >> lookahead
+	fs := newFakes(2, 0, 0)
+	fs[0].pending = []float64{base}
+	fs[1].pending = []float64{base + 0.25}
+	if !Phase(asShards(fs), base+1, 1, true) {
+		t.Fatal("phase aborted")
+	}
+	if total := len(fs[0].fired) + len(fs[1].fired); total != 2 {
+		t.Fatalf("fired %d events at degenerate-shave magnitude, want 2", total)
+	}
+}
+
+// TestPhasePanics pins the misuse guards.
+func TestPhasePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"no-shards", func() { Phase(nil, 10, 1, true) }},
+		{"zero-lookahead", func() { Phase(asShards(newFakes(2, 0, 0)), 10, 0, true) }},
+		{"nan-lookahead", func() { Phase(asShards(newFakes(2, 0, 0)), 10, math.NaN(), true) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+// TestBarrier pins the rendezvous semantics: every party observes every
+// earlier round's last-arriver action, across many rounds and parties.
+func TestBarrier(t *testing.T) {
+	const parties, rounds = 8, 200
+	b := NewBarrier(parties)
+	var counter int // written only by last-arriver actions
+	var wg sync.WaitGroup
+	wg.Add(parties)
+	for p := 0; p < parties; p++ {
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				b.Wait(func() { counter++ })
+				if counter != r+1 {
+					t.Errorf("round %d: counter %d", r, counter)
+					return
+				}
+				b.Wait(nil) // hold everyone until the check is done
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != rounds {
+		t.Fatalf("counter %d after %d rounds", counter, rounds)
+	}
+}
+
+// TestBarrierPanics pins the party-count guard.
+func TestBarrierPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+// TestTimeEncoding pins the order isomorphism the atomic minimum rests
+// on: for non-negative floats and +Inf, bit order is numeric order.
+func TestTimeEncoding(t *testing.T) {
+	vals := []float64{0, 1e-300, 0.5, 1, 1.0000000000000002, 3, 1e18, math.Inf(1)}
+	for i := 0; i < len(vals)-1; i++ {
+		if encodeTime(vals[i]) >= encodeTime(vals[i+1]) {
+			t.Errorf("encoding inverts %v < %v", vals[i], vals[i+1])
+		}
+		if decodeTime(encodeTime(vals[i])) != vals[i] {
+			t.Errorf("round-trip broke %v", vals[i])
+		}
+	}
+}

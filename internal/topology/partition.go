@@ -1,0 +1,92 @@
+package topology
+
+import "fmt"
+
+// Partition is a spatial decomposition of a Graph into P shards for
+// conservative parallel simulation: every node and every channel is
+// owned by exactly one shard. Channels follow their source router —
+// the shard that simulates a router arbitrates the channels leaving it
+// (and its injection/ejection pairs, whose Src is the local node) — so
+// a worm crossing from one shard's region into the next does so by
+// requesting a channel the next shard owns.
+type Partition struct {
+	// P is the shard count, 1 <= P <= Nodes.
+	P int
+	// Node maps each NodeID to its owning shard.
+	Node []int32
+	// Chan maps each ChannelID to its owning shard: the shard of the
+	// channel's Src router.
+	Chan []int32
+	// CrossChannels counts channels whose Src and Dst routers live in
+	// different shards — the seams where worm-level coalescing
+	// de-coalesces and events cross mailboxes.
+	CrossChannels int
+}
+
+// PartitionGraph decomposes g into p shards of contiguous node blocks:
+// node i belongs to shard i*p/n, which balances shard sizes to within
+// one node. Contiguous blocks are the right default for the built-in
+// topologies — ring-based quarc and row-major meshes both number
+// neighbours consecutively, so most links stay shard-internal.
+// p is clamped to [1, Nodes].
+func PartitionGraph(g *Graph, p int) *Partition {
+	n := g.Nodes()
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	pt := &Partition{
+		P:    p,
+		Node: make([]int32, n),
+		Chan: make([]int32, g.NumChannels()),
+	}
+	for i := 0; i < n; i++ {
+		pt.Node[i] = int32(i * p / n)
+	}
+	for _, c := range g.Channels() {
+		pt.Chan[c.ID] = pt.Node[c.Src]
+		if pt.Node[c.Src] != pt.Node[c.Dst] {
+			pt.CrossChannels++
+		}
+	}
+	return pt
+}
+
+// Lookahead returns the conservative synchronization horizon of the
+// partition: the minimum simulated latency of any shard-crossing
+// interaction. Wormhole channels have a fixed one-cycle flit latency —
+// every event a fired event schedules on another router's channels is
+// at least one cycle out — so the lookahead is the constant 1,
+// independent of the cut. It is exposed as a method (rather than a
+// package constant) so virtual-channel or heterogeneous-latency
+// topologies can shrink or grow it per partition later.
+func (pt *Partition) Lookahead() float64 { return 1 }
+
+// Validate checks the partition invariants: every node and channel
+// assigned to a shard in range, and channel ownership consistent with
+// the source router's shard.
+func (pt *Partition) Validate(g *Graph) error {
+	if pt.P < 1 {
+		return fmt.Errorf("topology: partition has %d shards", pt.P)
+	}
+	if len(pt.Node) != g.Nodes() || len(pt.Chan) != g.NumChannels() {
+		return fmt.Errorf("topology: partition maps %d nodes/%d channels, graph has %d/%d",
+			len(pt.Node), len(pt.Chan), g.Nodes(), g.NumChannels())
+	}
+	for i, s := range pt.Node {
+		if s < 0 || int(s) >= pt.P {
+			return fmt.Errorf("topology: node %d assigned to shard %d of %d", i, s, pt.P)
+		}
+	}
+	for i, s := range pt.Chan {
+		if s < 0 || int(s) >= pt.P {
+			return fmt.Errorf("topology: channel %d assigned to shard %d of %d", i, s, pt.P)
+		}
+		if want := pt.Node[g.Channel(ChannelID(i)).Src]; s != want {
+			return fmt.Errorf("topology: channel %d owned by shard %d, its source router by %d", i, s, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package topology
+
+import "testing"
+
+// partitionGraphs returns the graphs the partition invariants are pinned
+// on: the paper's Quarc rings and the mesh extension, at two scales each.
+func partitionGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	q16, err := NewQuarc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q64, err := NewQuarc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m44, err := NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m88, err := NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Graph{
+		"quarc-16": q16.Graph, "quarc-64": q64.Graph,
+		"mesh-4x4": m44.Graph, "mesh-8x8": m88.Graph,
+	}
+}
+
+// TestPartitionExactlyOnce pins the ownership invariant the parallel
+// engine's safety argument rests on: every node and every channel is
+// assigned to exactly one in-range shard, channel ownership follows the
+// source router, and shard sizes are balanced to within one node.
+func TestPartitionExactlyOnce(t *testing.T) {
+	for name, g := range partitionGraphs(t) {
+		for _, p := range []int{1, 2, 3, 4, 7, 8} {
+			pt := PartitionGraph(g, p)
+			if pt.P != p {
+				t.Errorf("%s/p=%d: partition reports P=%d", name, p, pt.P)
+			}
+			if err := pt.Validate(g); err != nil {
+				t.Errorf("%s/p=%d: %v", name, p, err)
+			}
+			nodesPer := make([]int, pt.P)
+			for _, s := range pt.Node {
+				nodesPer[s]++
+			}
+			lo, hi := g.Nodes(), 0
+			for _, c := range nodesPer {
+				if c < lo {
+					lo = c
+				}
+				if c > hi {
+					hi = c
+				}
+			}
+			if lo == 0 {
+				t.Errorf("%s/p=%d: a shard owns no nodes", name, p)
+			}
+			if hi-lo > 1 {
+				t.Errorf("%s/p=%d: shard sizes range %d..%d, want balanced to within one", name, p, lo, hi)
+			}
+			for _, c := range g.Channels() {
+				if pt.Chan[c.ID] != pt.Node[c.Src] {
+					t.Fatalf("%s/p=%d: channel %d owned by shard %d, its source by %d",
+						name, p, c.ID, pt.Chan[c.ID], pt.Node[c.Src])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionCrossChannels pins the seam count: CrossChannels matches
+// a direct recount of the channels whose endpoints live in different
+// shards, is zero at p=1, and nonzero for every real cut of a connected
+// graph.
+func TestPartitionCrossChannels(t *testing.T) {
+	for name, g := range partitionGraphs(t) {
+		for _, p := range []int{1, 2, 4, 8} {
+			pt := PartitionGraph(g, p)
+			count := 0
+			for _, c := range g.Channels() {
+				if pt.Node[c.Src] != pt.Node[c.Dst] {
+					count++
+				}
+			}
+			if pt.CrossChannels != count {
+				t.Errorf("%s/p=%d: CrossChannels=%d, recount=%d", name, p, pt.CrossChannels, count)
+			}
+			if p == 1 && count != 0 {
+				t.Errorf("%s: single-shard partition has %d cross channels", name, count)
+			}
+			if p > 1 && count == 0 {
+				t.Errorf("%s/p=%d: a real cut of a connected graph has no seam", name, p)
+			}
+		}
+	}
+}
+
+// TestPartitionLookahead pins the conservative horizon: strictly
+// positive for every partition — a zero lookahead would make every
+// window empty — and exactly the one-cycle flit latency today.
+func TestPartitionLookahead(t *testing.T) {
+	for name, g := range partitionGraphs(t) {
+		for _, p := range []int{1, 2, 8} {
+			pt := PartitionGraph(g, p)
+			if la := pt.Lookahead(); la <= 0 {
+				t.Errorf("%s/p=%d: lookahead %v, want > 0", name, p, la)
+			} else if la != 1 {
+				t.Errorf("%s/p=%d: lookahead %v, want the one-cycle flit latency", name, p, la)
+			}
+		}
+	}
+}
+
+// TestPartitionIdentity pins the degenerate partition: p=1 assigns
+// everything to shard 0 (the serial engine with extra steps).
+func TestPartitionIdentity(t *testing.T) {
+	for name, g := range partitionGraphs(t) {
+		pt := PartitionGraph(g, 1)
+		if pt.P != 1 {
+			t.Fatalf("%s: p=1 partition has P=%d", name, pt.P)
+		}
+		for i, s := range pt.Node {
+			if s != 0 {
+				t.Fatalf("%s: node %d in shard %d of a single-shard partition", name, i, s)
+			}
+		}
+		for i, s := range pt.Chan {
+			if s != 0 {
+				t.Fatalf("%s: channel %d in shard %d of a single-shard partition", name, i, s)
+			}
+		}
+	}
+}
+
+// TestPartitionClamps pins the p clamp: p below 1 degenerates to the
+// identity, p beyond the node count clamps to one node per shard.
+func TestPartitionClamps(t *testing.T) {
+	g := partitionGraphs(t)["quarc-16"]
+	if pt := PartitionGraph(g, 0); pt.P != 1 {
+		t.Errorf("p=0 clamps to P=%d, want 1", pt.P)
+	}
+	if pt := PartitionGraph(g, -3); pt.P != 1 {
+		t.Errorf("p=-3 clamps to P=%d, want 1", pt.P)
+	}
+	pt := PartitionGraph(g, 1000)
+	if pt.P != g.Nodes() {
+		t.Errorf("p=1000 clamps to P=%d, want %d", pt.P, g.Nodes())
+	}
+	if err := pt.Validate(g); err != nil {
+		t.Error(err)
+	}
+	seen := make(map[int32]bool)
+	for _, s := range pt.Node {
+		if seen[s] {
+			t.Fatalf("shard %d owns two nodes of a one-node-per-shard partition", s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestPartitionValidateRejects pins Validate's error paths: mismatched
+// map lengths, out-of-range shards and ownership breaking the
+// source-router rule.
+func TestPartitionValidateRejects(t *testing.T) {
+	g := partitionGraphs(t)["mesh-4x4"]
+	good := func() *Partition { return PartitionGraph(g, 4) }
+	if err := good().Validate(g); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		break_ func(*Partition)
+	}{
+		{"zero-shards", func(pt *Partition) { pt.P = 0 }},
+		{"short-node-map", func(pt *Partition) { pt.Node = pt.Node[:len(pt.Node)-1] }},
+		{"short-chan-map", func(pt *Partition) { pt.Chan = pt.Chan[:len(pt.Chan)-1] }},
+		{"node-out-of-range", func(pt *Partition) { pt.Node[0] = int32(pt.P) }},
+		{"chan-out-of-range", func(pt *Partition) { pt.Chan[0] = -1 }},
+		{"chan-wrong-owner", func(pt *Partition) {
+			for i, c := range g.Channels() {
+				if pt.Node[c.Src] != 0 {
+					pt.Chan[i] = 0
+					return
+				}
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pt := good()
+			tc.break_(pt)
+			if err := pt.Validate(g); err == nil {
+				t.Error("broken partition validated")
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package wormhole
+
+import (
+	"testing"
+)
+
+// FuzzParallelVsSerial fuzzes the parallel-vs-serial differential over
+// the battery's whole input space: topology cell, injection rate,
+// arrival process, RNG seed and shard count. Every execution demands
+// bitwise equality, so any scheduling order the conservative windows can
+// produce that the canonical fold cannot reproduce surfaces as a
+// sameResult failure rather than a statistical drift.
+//
+// Rates stay below each cell's congestion knee (fractions of the
+// battery's calibrated rate): heavy phase-locked congestion can tie
+// same-channel arbitration across shards, which no fold order repairs —
+// the eligibility contract excludes that regime (see RunParallel's doc).
+func FuzzParallelVsSerial(f *testing.F) {
+	// Seeds: one per topology cell, both arrival processes, the shard
+	// counts the battery pins, and a few irregular combinations.
+	f.Add(uint8(0), uint8(8), uint8(0), uint64(7), uint8(2))
+	f.Add(uint8(1), uint8(8), uint8(1), uint64(7), uint8(4))
+	f.Add(uint8(2), uint8(8), uint8(0), uint64(11), uint8(8))
+	f.Add(uint8(3), uint8(8), uint8(1), uint64(13), uint8(3))
+	f.Add(uint8(0), uint8(2), uint8(1), uint64(1), uint8(7))
+	f.Add(uint8(1), uint8(5), uint8(0), uint64(99), uint8(5))
+	f.Add(uint8(2), uint8(1), uint8(1), uint64(42), uint8(6))
+	f.Add(uint8(3), uint8(7), uint8(0), uint64(1234567), uint8(2))
+	f.Fuzz(func(t *testing.T, topo, rate, arrival uint8, seed uint64, p uint8) {
+		cells := parCells(t)
+		c := cells[int(topo)%len(cells)]
+		// rate maps to (0, battery rate]: 1/8..8/8 of the calibrated
+		// sub-congestion operating point.
+		c.rate *= float64(1+int(rate)%8) / 8
+		arr := "poisson"
+		if arrival%2 == 1 {
+			arr = "onoff"
+		}
+		shards := 2 + int(p)%7 // 2..8
+		cfg := Config{MsgLen: c.msgLen, Warmup: 200, Measure: 2000}
+		serial := parNetwork(t, c, parWorkload(t, c, arr, seed), cfg).Run()
+		nw := parNetwork(t, c, parWorkload(t, c, arr, seed), cfg)
+		par, ok := nw.RunParallel(shards)
+		if !ok {
+			// Saturation abort: the caller contract is a fresh serial
+			// re-run, which must reproduce the truncated result.
+			par = parNetwork(t, c, parWorkload(t, c, arr, seed), cfg).Run()
+		}
+		sameResult(t, c.name+"/"+arr, par, serial)
+	})
+}

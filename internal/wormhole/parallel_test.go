@@ -1,0 +1,261 @@
+package wormhole
+
+import (
+	"testing"
+
+	"quarc/internal/routing"
+	"quarc/internal/topology"
+	"quarc/internal/traffic"
+)
+
+// parCell is one topology cell of the parallel differential battery.
+type parCell struct {
+	name   string
+	rt     routing.Router
+	set    func() (routing.MulticastSet, error) // nil: unicast-only cell
+	msgLen int
+	rate   float64
+	alpha  float64
+}
+
+// parCells builds the battery's topology axis: the paper's Quarc rings
+// at two scales and the mesh extension at two scales, with message
+// lengths both above and below the diameter so fused advances (and
+// their seam splits) are exercised.
+func parCells(t testing.TB) []parCell {
+	t.Helper()
+	q16, err := topology.NewQuarc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qrt16 := routing.NewQuarcRouter(q16)
+	q64, err := topology.NewQuarc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qrt64 := routing.NewQuarcRouter(q64)
+	m4, err := topology.NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrt4 := routing.NewMeshRouter(m4)
+	m8, err := topology.NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrt8 := routing.NewMeshRouter(m8)
+	return []parCell{
+		{name: "quarc-16", rt: qrt16,
+			set:    func() (routing.MulticastSet, error) { return qrt16.LocalizedSet(topology.PortL, 4) },
+			msgLen: 32, rate: 0.004, alpha: 0.05},
+		{name: "quarc-64", rt: qrt64, // msgLen < diameter: stretched worms cross seams
+			set:    func() (routing.MulticastSet, error) { return qrt64.LocalizedSet(topology.PortL, 6) },
+			msgLen: 4, rate: 0.002, alpha: 0.05},
+		// The mesh cells run unicast-only: the multicast-disjointness leg
+		// of the bitwise argument (same-message branches never share a
+		// channel) is a Quarc routing property, not a mesh one.
+		{name: "mesh-4x4", rt: mrt4, msgLen: 16, rate: 0.003},
+		{name: "mesh-8x8", rt: mrt8, msgLen: 8, rate: 0.0015},
+	}
+}
+
+// parWorkload builds a fresh workload for one battery run — fresh each
+// run, so serial and parallel consume identical RNG streams.
+func parWorkload(t testing.TB, c parCell, arrival string, seed uint64) *traffic.Workload {
+	t.Helper()
+	spec := traffic.Spec{Rate: c.rate, Arrival: arrival}
+	if arrival == "onoff" {
+		spec.BurstLen = 4
+		spec.DutyCycle = 0.5
+	}
+	if c.set != nil {
+		set, err := c.set()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.MulticastFrac = c.alpha
+		spec.Set = set
+	}
+	w, err := traffic.NewWorkload(c.rt, spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func parNetwork(t testing.TB, c parCell, w *traffic.Workload, cfg Config) *Network {
+	t.Helper()
+	nw, err := New(c.rt.Graph(), w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestParallelMatchesSerial is the differential battery pinning the
+// tentpole claim: for every topology cell, shard count and arrival
+// process, RunParallel's Result is bitwise-equal to the serial engine's
+// — latencies, batch means, counters, event counts, utilization.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := Config{MsgLen: 0, Warmup: 500, Measure: 5000}
+	for _, c := range parCells(t) {
+		for _, arrival := range []string{"poisson", "onoff"} {
+			t.Run(c.name+"/"+arrival, func(t *testing.T) {
+				const seed = 7
+				ccfg := cfg
+				ccfg.MsgLen = c.msgLen
+				nw := parNetwork(t, c, parWorkload(t, c, arrival, seed), ccfg)
+				serial := nw.Run()
+				if serial.Saturated {
+					t.Fatalf("battery cell saturates serially; lower its rate")
+				}
+				for _, p := range []int{1, 2, 4, 8} {
+					nwP := parNetwork(t, c, parWorkload(t, c, arrival, seed), ccfg)
+					par, ok := nwP.RunParallel(p)
+					if !ok {
+						t.Fatalf("p=%d: parallel run aborted on an unsaturated workload", p)
+					}
+					sameResult(t, c.name+"/p="+string(rune('0'+p)), par, serial)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelFallsBackSerially pins the fallback contract: every
+// ineligible configuration must run serially (ok=true) and reproduce
+// the plain serial Result exactly, rather than abort or diverge.
+func TestParallelFallsBackSerially(t *testing.T) {
+	c := parCells(t)[0]
+	base := Config{MsgLen: c.msgLen, Warmup: 500, Measure: 4000}
+	serialFor := func(cfg Config) Result {
+		return parNetwork(t, c, parWorkload(t, c, "poisson", 3), cfg).Run()
+	}
+	cases := []struct {
+		name string
+		cfg  func(Config) Config
+		prep func(*Network)
+		p    int
+	}{
+		{name: "p=1", cfg: func(g Config) Config { return g }, p: 1},
+		{name: "drain", cfg: func(g Config) Config { g.Drain = true; return g }, p: 4},
+		{name: "detail", cfg: func(g Config) Config { g.Detail = true; return g }, p: 4},
+		{name: "trace", cfg: func(g Config) Config { g.TraceEnabled = true; g.TraceNode = 2; return g }, p: 4},
+		{name: "no-coalesce", cfg: func(g Config) Config { g.NoCoalesce = true; return g }, p: 4},
+		{name: "per-event-hook", cfg: func(g Config) Config { return g }, p: 4,
+			prep: func(nw *Network) { nw.Attach(nopHook{}, HookWormInjected) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg(base)
+			want := serialFor(cfg)
+			nw := parNetwork(t, c, parWorkload(t, c, "poisson", 3), cfg)
+			if tc.prep != nil {
+				tc.prep(nw)
+			}
+			got, ok := nw.RunParallel(tc.p)
+			if !ok {
+				t.Fatalf("fallback run aborted")
+			}
+			sameResult(t, tc.name, got, want)
+		})
+	}
+	t.Run("unsafe-traffic", func(t *testing.T) {
+		// A Traffic without the ParallelSafe marker must run serially.
+		cfg := base
+		w := parWorkload(t, c, "poisson", 3)
+		want := parNetwork(t, c, w, cfg).Run()
+		w2 := parWorkload(t, c, "poisson", 3)
+		nw, err := New(c.rt.Graph(), unsafeTraffic{w2}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := nw.RunParallel(4)
+		if !ok {
+			t.Fatalf("fallback run aborted")
+		}
+		sameResult(t, "unsafe-traffic", got, want)
+	})
+}
+
+type nopHook struct{}
+
+func (nopHook) Func(HookCtx) {}
+
+// unsafeTraffic strips the ParallelSafe marker off a workload.
+type unsafeTraffic struct{ w *traffic.Workload }
+
+func (u unsafeTraffic) Interarrival(n topology.NodeID) float64          { return u.w.Interarrival(n) }
+func (u unsafeTraffic) Next(n topology.NodeID) ([]routing.Branch, bool) { return u.w.Next(n) }
+
+// partitionHook records HookPartitionDone firings.
+type partitionHook struct {
+	nodes []topology.NodeID
+	evs   []int64
+}
+
+func (h *partitionHook) Func(c HookCtx) {
+	if c.Pos != HookPartitionDone {
+		panic("partitionHook attached elsewhere")
+	}
+	h.nodes = append(h.nodes, c.Node)
+	h.evs = append(h.evs, c.Msg)
+}
+
+// TestParallelPartitionHook pins the observability surface: a hook at
+// HookPartitionDone (the one position that keeps a run parallel) fires
+// once per partition with the partition event counts summing to
+// Result.Events, and its presence does not perturb the Result.
+func TestParallelPartitionHook(t *testing.T) {
+	c := parCells(t)[0]
+	cfg := Config{MsgLen: c.msgLen, Warmup: 500, Measure: 4000}
+	const p = 4
+	serial := parNetwork(t, c, parWorkload(t, c, "poisson", 11), cfg).Run()
+	nw := parNetwork(t, c, parWorkload(t, c, "poisson", 11), cfg)
+	h := &partitionHook{}
+	nw.Attach(h, HookPartitionDone)
+	got, ok := nw.RunParallel(p)
+	if !ok {
+		t.Fatalf("parallel run aborted")
+	}
+	sameResult(t, "hooked-parallel", got, serial)
+	if len(h.evs) != p {
+		t.Fatalf("partition hook fired %d times, want %d", len(h.evs), p)
+	}
+	var sum uint64
+	for i, n := range h.nodes {
+		if int(n) != i {
+			t.Errorf("firing %d reported partition %d", i, n)
+		}
+		sum += uint64(h.evs[i])
+	}
+	if sum != got.Events {
+		t.Errorf("partition event counts sum to %d, Result.Events is %d", sum, got.Events)
+	}
+}
+
+// TestParallelSaturationAborts pins the saturation contract: a workload
+// the serial engine stops early must abort the parallel attempt
+// (ok=false), and a serial re-run from fresh state must still produce
+// the truncated saturated Result.
+func TestParallelSaturationAborts(t *testing.T) {
+	c := parCells(t)[0]
+	cfg := Config{MsgLen: c.msgLen, Warmup: 500, Measure: 20000, SatQueue: 20}
+	hot := c
+	hot.rate = 0.05 // far past the Quarc-16 saturation knee
+	serial := parNetwork(t, hot, parWorkload(t, hot, "poisson", 5), cfg).Run()
+	if !serial.Saturated {
+		t.Fatalf("saturation cell did not saturate serially")
+	}
+	nw := parNetwork(t, hot, parWorkload(t, hot, "poisson", 5), cfg)
+	if res, ok := nw.RunParallel(4); ok {
+		// The abort is only required when the stop actually triggers
+		// mid-run; if every shard finished, the result must still match.
+		sameResult(t, "saturated-complete", res, serial)
+		return
+	}
+	// Aborted: the caller contract is a fresh rebuild and a serial
+	// re-run, which must reproduce the truncated result exactly.
+	rerun := parNetwork(t, hot, parWorkload(t, hot, "poisson", 5), cfg).Run()
+	sameResult(t, "saturated-rerun", rerun, serial)
+}

@@ -32,6 +32,7 @@ package wormhole
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"quarc/internal/routing"
 	"quarc/internal/sim"
@@ -151,13 +152,20 @@ type channel struct {
 	// when holder != nil && holder.spanning.
 	spanRelease float64
 	spanSeq     uint64
+	// spanDeferred is the parallel engine's explicit deferral marker
+	// (parallel.go). Serially, "holder is spanning and the queue is
+	// empty" implies this channel's release was deferred, but a parallel
+	// shard can hold a channel whose worm spans in another shard (the
+	// release then arrives as a materialized event), so deferral is
+	// recorded per channel. The serial path never reads it.
+	spanDeferred bool
 }
 
 type message struct {
 	id        int64
 	gen       float64
 	multicast bool
-	pending   int
+	pending   int32
 	lastDone  float64
 	measured  bool
 	traced    bool
@@ -165,6 +173,58 @@ type message struct {
 	// per-distance breakdowns (unused for multicasts).
 	port  int
 	depth int
+	// src is the injecting node, kept for the canonical sample fold's
+	// tie-break key (see foldSamples).
+	src topology.NodeID
+	// lastDoneBits is the parallel engine's field (parallel.go): the
+	// float64 bit pattern of the latest branch completion, maintained by
+	// CAS so branches completing in different shards fold commutatively.
+	// The serial path never touches it (it uses lastDone directly).
+	lastDoneBits uint64
+}
+
+// latSample is one measured message completion. Latency estimators are
+// folded from buffered samples at the end of the run, in the canonical
+// (completion, generation, source) order, rather than inline in event
+// order: event order and canonical order differ only where completion
+// times tie exactly — which blocking makes routine, since a worm granted
+// at its blocker's release inherits the blocker's time base — and the
+// canonical order is the one a parallel run can reproduce, because it is
+// a function of sample content rather than of the global event sequence
+// (see parallel.go).
+type latSample struct {
+	t, gen    float64
+	src       topology.NodeID
+	multicast bool
+	// port and depth carry the unicast breakdown coordinates for Detail
+	// runs (zero otherwise; the parallel engine never records them, as
+	// Detail runs fall back to the serial path).
+	port  int
+	depth int
+}
+
+// sortSamples orders samples canonically: by completion time, then
+// generation time, then source node. Two distinct messages can share a
+// completion time (inherited time bases) and, in principle, a generation
+// time; no two share all three, since one node generates at most one
+// message per instant.
+func sortSamples(s []latSample) {
+	slices.SortFunc(s, func(a, b latSample) int {
+		switch {
+		case a.t != b.t:
+			if a.t < b.t {
+				return -1
+			}
+			return 1
+		case a.gen != b.gen:
+			if a.gen < b.gen {
+				return -1
+			}
+			return 1
+		default:
+			return int(a.src) - int(b.src)
+		}
+	})
 }
 
 type worm struct {
@@ -177,6 +237,13 @@ type worm struct {
 	// queue references the worm and it returns to the pool.
 	held int
 	done bool
+	// pstate packs the same occupancy state for the parallel engine
+	// (parallel.go): a held count in the low bits plus done/spanning flag
+	// bits, maintained with atomic adds because a stretched worm's
+	// channels can be released from several shards. Serial and parallel
+	// runs use disjoint worm populations, so each mode reads only its own
+	// fields.
+	pstate int32
 	// spanning marks a worm draining in coalesced span mode: its remaining
 	// channel releases are deferred to their precomputed times (each
 	// channel's spanRelease) and applied lazily, by one evSpanDone event,
@@ -223,6 +290,11 @@ type Network struct {
 	// drains, fused advances, lazily applied releases), so Result.Events
 	// can report flit-level-equivalent event counts.
 	coalesced uint64
+	// samples buffers the measured completions until finish folds them
+	// into the latency estimators in canonical order (see latSample).
+	// Reset truncates it in place, so a reused network appends into
+	// already-sized backing storage.
+	samples []latSample
 	// wormPool and msgPool recycle the per-message heap objects; both only
 	// ever hold fully dead objects (no event or queue references them).
 	wormPool []*worm
@@ -385,6 +457,7 @@ func (nw *Network) Reset(traffic Traffic, cfg Config) error {
 		c.busy = 0
 		c.grants = 0
 		c.spanRelease = 0
+		c.spanDeferred = false
 	}
 	nw.res = Result{}
 	nw.measuring = false
@@ -395,6 +468,7 @@ func (nw *Network) Reset(traffic Traffic, cfg Config) error {
 	nw.pendingMeasured = 0
 	nw.nextMsgID = 0
 	nw.coalesced = 0
+	nw.samples = nw.samples[:0]
 	return nil
 }
 
@@ -469,8 +543,34 @@ func (nw *Network) busySpan(grant, release float64) float64 {
 	return hi - lo
 }
 
+// foldSamples sorts the buffered completion samples canonically and
+// feeds them to the latency estimators. Order only matters to the
+// rounding of the running sums and the batch-means boundaries; sorting
+// pins that rounding to a sequence a parallel run can reproduce.
+func (nw *Network) foldSamples() {
+	sortSamples(nw.samples)
+	for _, s := range nw.samples {
+		lat := s.t - s.gen
+		if s.multicast {
+			nw.res.Multicast.Add(lat)
+			nw.res.MulticastBM.Add(lat)
+			if nw.res.Detail != nil {
+				nw.res.Detail.MulticastHist.Add(lat)
+			}
+		} else {
+			nw.res.Unicast.Add(lat)
+			nw.res.UnicastBM.Add(lat)
+			if nw.res.Detail != nil {
+				nw.res.Detail.recordUnicast(s.port, s.depth, lat)
+			}
+		}
+	}
+	nw.samples = nw.samples[:0]
+}
+
 func (nw *Network) finish() {
 	nw.res.Time = nw.eng.Now()
+	nw.foldSamples()
 	// Deferred releases that logically happened before the end of the run
 	// must be applied so the utilization accounting below sees their true
 	// release times (their evSpanDone may lie beyond the horizon).
@@ -535,8 +635,9 @@ func (nw *Network) generate(node topology.NodeID, t float64) {
 	msg := nw.getMessage()
 	msg.id = nw.nextMsgID
 	msg.gen = t
+	msg.src = node
 	msg.multicast = multicast
-	msg.pending = len(branches)
+	msg.pending = int32(len(branches))
 	msg.measured = measured
 	msg.traced = nw.cfg.TraceEnabled && node == nw.cfg.TraceNode
 	if !multicast {
@@ -825,20 +926,12 @@ func (nw *Network) complete(msg *message, t float64) {
 	if nw.measuring && msg.measured {
 		nw.res.Completed++
 		nw.pendingMeasured--
-		lat := msg.lastDone - msg.gen
-		if msg.multicast {
-			nw.res.Multicast.Add(lat)
-			nw.res.MulticastBM.Add(lat)
-			if nw.res.Detail != nil {
-				nw.res.Detail.MulticastHist.Add(lat)
-			}
-		} else {
-			nw.res.Unicast.Add(lat)
-			nw.res.UnicastBM.Add(lat)
-			if nw.res.Detail != nil {
-				nw.res.Detail.recordUnicast(msg.port, msg.depth, lat)
-			}
-		}
+		// The estimator folds are deferred to finish so they happen in
+		// canonical rather than event order (see latSample).
+		nw.samples = append(nw.samples, latSample{
+			t: msg.lastDone, gen: msg.gen, src: msg.src,
+			multicast: msg.multicast, port: msg.port, depth: msg.depth,
+		})
 		if nw.draining && nw.pendingMeasured <= 0 {
 			nw.eng.Stop()
 		}

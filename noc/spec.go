@@ -91,6 +91,11 @@ type Spec struct {
 	TraceLimit        int     `json:"trace_limit,omitempty"`
 	Replications      int     `json:"replications,omitempty"`
 	Parallelism       int     `json:"parallelism,omitempty"`
+	// IntraParallelism shards a single run across the conservative
+	// parallel engine (the IntraParallelism option). Like Parallelism it
+	// is execution advice with a bitwise-invariant Result, so Canonical
+	// clears it and it never perturbs the Fingerprint.
+	IntraParallelism int `json:"intra_parallelism,omitempty"`
 
 	// Metrics enables time-series recording (the Metrics option):
 	// Result.Series carries MetricsBuckets buckets of per-channel
@@ -236,6 +241,9 @@ func (sp Spec) Validate() error {
 	if sp.Replications < 0 || sp.Replications > maxSpecReplications {
 		return fail("replications %d outside [0, %d]", sp.Replications, maxSpecReplications)
 	}
+	if sp.IntraParallelism < 0 || sp.IntraParallelism > maxSpecNodes {
+		return fail("intra_parallelism %d outside [0, %d]", sp.IntraParallelism, maxSpecNodes)
+	}
 	if sp.MetricsBuckets < 0 || sp.MetricsBuckets > MaxMetricsBuckets {
 		return fail("metrics_buckets %d outside [0, %d]", sp.MetricsBuckets, MaxMetricsBuckets)
 	}
@@ -371,6 +379,7 @@ func (sp Spec) Canonical() Spec {
 		c.MetricsBuckets = 0
 	}
 	c.Parallelism = 0
+	c.IntraParallelism = 0
 	if c.Evaluator == "" {
 		c.Evaluator = "simulator"
 	}
@@ -527,6 +536,9 @@ func (sp Spec) tuningOptions() []Option {
 		// part of the canonical content.
 		opts = append(opts, Parallelism(sp.Parallelism))
 	}
+	if sp.IntraParallelism != 0 {
+		opts = append(opts, IntraParallelism(sp.IntraParallelism))
+	}
 	return opts
 }
 
@@ -619,6 +631,7 @@ func (s *Scenario) Spec() Spec {
 		SatQueue: c.satQueue, Drain: c.drain, Detail: c.detail,
 		MulticastPriority: c.mcPriority,
 		Replications:      c.replications, Parallelism: c.parallelism,
+		IntraParallelism: c.intraParallelism,
 	}
 	if c.traceEnabled {
 		sp.TraceNode, sp.TraceLimit = c.traceNode, c.traceLimit
